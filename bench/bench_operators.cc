@@ -1,0 +1,147 @@
+// Google-benchmark microbenchmarks for the core physical operators:
+// throughput of scan / filter / hash join / group-by, and the structural
+// costs specific to GApply (partitioning, per-group subplan re-opening)
+// against plain GroupBy — the overhead the GApplyToGroupBy rule removes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/plan/builder.h"
+
+namespace gapply::bench {
+namespace {
+
+Database* SharedDb() {
+  static Database* db = [] {
+    auto* d = new Database();
+    LoadDb(d, ScaleFactor(0.01));
+    return d;
+  }();
+  return db;
+}
+
+LogicalOpPtr MustBuild(PlanBuilder b) {
+  Result<LogicalOpPtr> r = std::move(b).Build();
+  if (!r.ok()) {
+    std::fprintf(stderr, "plan build failed: %s\n",
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r).value();
+}
+
+void RunPlan(benchmark::State& state, const LogicalOp& plan,
+             const QueryOptions& options = {}) {
+  Database* db = SharedDb();
+  size_t rows = 0;
+  for (auto _ : state) {
+    Result<QueryResult> r = db->Execute(plan, options);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    rows = r->rows.size();
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["rows"] = static_cast<double>(rows);
+}
+
+void BM_TableScan(benchmark::State& state) {
+  auto plan = MustBuild(PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp"));
+  RunPlan(state, *plan);
+}
+BENCHMARK(BM_TableScan);
+
+void BM_FilterScan(benchmark::State& state) {
+  auto plan = MustBuild(
+      PlanBuilder::Scan(*SharedDb()->catalog(), "part")
+          .Select([](const Schema& s) {
+            return Gt(Col(s, "p_retailprice"), Lit(1500.0));
+          }));
+  RunPlan(state, *plan);
+}
+BENCHMARK(BM_FilterScan);
+
+void BM_HashJoin(benchmark::State& state) {
+  auto plan = MustBuild(
+      PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp")
+          .Join(PlanBuilder::Scan(*SharedDb()->catalog(), "part"),
+                {"ps_partkey"}, {"p_partkey"}));
+  RunPlan(state, *plan);
+}
+BENCHMARK(BM_HashJoin);
+
+void BM_HashGroupBy(benchmark::State& state) {
+  auto plan = MustBuild(
+      PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp")
+          .GroupBy({"ps_suppkey"},
+                   {{AggKind::kAvg, "ps_supplycost", "a", false}}));
+  RunPlan(state, *plan);
+}
+BENCHMARK(BM_HashGroupBy);
+
+void BM_SortedGroupBy(benchmark::State& state) {
+  auto plan = MustBuild(
+      PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp")
+          .GroupBy({"ps_suppkey"},
+                   {{AggKind::kAvg, "ps_supplycost", "a", false}}));
+  QueryOptions options;
+  options.lowering.stream_group_by = true;
+  RunPlan(state, *plan, options);
+}
+BENCHMARK(BM_SortedGroupBy);
+
+// GApply with an aggregate-only PGQ, optimizer off: what GApplyToGroupBy
+// saves (compare with BM_HashGroupBy).
+void BM_GApplyAggregatePgq(benchmark::State& state) {
+  auto outer = PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp");
+  const Schema gs = outer.schema();
+  auto plan = MustBuild(std::move(outer).GApply(
+      {"ps_suppkey"}, "g",
+      PlanBuilder::GroupScan("g", gs).ScalarAgg(
+          {{AggKind::kAvg, "ps_supplycost", "a", false}})));
+  QueryOptions options;
+  options.optimizer = Optimizer::Options::AllDisabled();
+  RunPlan(state, *plan, options);
+}
+BENCHMARK(BM_GApplyAggregatePgq);
+
+// Identity PGQ: pure partition + re-emit cost (sort vs hash).
+void BM_GApplyIdentitySort(benchmark::State& state) {
+  auto outer = PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp");
+  const Schema gs = outer.schema();
+  auto plan = MustBuild(std::move(outer).GApply(
+      {"ps_suppkey"}, "g", PlanBuilder::GroupScan("g", gs),
+      PartitionMode::kSort));
+  QueryOptions options;
+  options.optimizer = Optimizer::Options::AllDisabled();
+  RunPlan(state, *plan, options);
+}
+BENCHMARK(BM_GApplyIdentitySort);
+
+void BM_GApplyIdentityHash(benchmark::State& state) {
+  auto outer = PlanBuilder::Scan(*SharedDb()->catalog(), "partsupp");
+  const Schema gs = outer.schema();
+  auto plan = MustBuild(std::move(outer).GApply(
+      {"ps_suppkey"}, "g", PlanBuilder::GroupScan("g", gs),
+      PartitionMode::kHash));
+  QueryOptions options;
+  options.optimizer = Optimizer::Options::AllDisabled();
+  RunPlan(state, *plan, options);
+}
+BENCHMARK(BM_GApplyIdentityHash);
+
+// Correlated Apply (per-row re-execution) vs cached uncorrelated Apply.
+void BM_ApplyUncorrelatedCached(benchmark::State& state) {
+  auto outer = PlanBuilder::Scan(*SharedDb()->catalog(), "supplier");
+  auto inner = PlanBuilder::Scan(*SharedDb()->catalog(), "nation")
+                   .ScalarAgg({{AggKind::kCountStar, "", "c", false}});
+  auto plan = MustBuild(std::move(outer).Apply(std::move(inner)));
+  RunPlan(state, *plan);
+}
+BENCHMARK(BM_ApplyUncorrelatedCached);
+
+}  // namespace
+}  // namespace gapply::bench
+
+BENCHMARK_MAIN();

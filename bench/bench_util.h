@@ -1,0 +1,116 @@
+#ifndef GAPPLY_BENCH_BENCH_UTIL_H_
+#define GAPPLY_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/engine/database.h"
+
+namespace gapply::bench {
+
+/// Scale factor for bench databases; override with GAPPLY_SF=0.02 etc.
+inline double ScaleFactor(double fallback = 0.01) {
+  const char* env = std::getenv("GAPPLY_SF");
+  if (env == nullptr) return fallback;
+  const double sf = std::atof(env);
+  return sf > 0 ? sf : fallback;
+}
+
+/// Repetitions per measurement; override with GAPPLY_REPS.
+inline int Reps(int fallback = 3) {
+  const char* env = std::getenv("GAPPLY_REPS");
+  if (env == nullptr) return fallback;
+  const int reps = std::atoi(env);
+  return reps > 0 ? reps : fallback;
+}
+
+inline void LoadDb(Database* db, double scale_factor) {
+  tpch::TpchConfig config;
+  config.scale_factor = scale_factor;
+  Status st = db->LoadTpch(config);
+  if (!st.ok()) {
+    std::fprintf(stderr, "TPC-H load failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// Executes `plan` `reps` times (plus one warmup) and returns the minimum
+/// elapsed milliseconds. Row count (of the last run) goes to *rows.
+inline double TimePlanMs(Database* db, const LogicalOp& plan,
+                         const QueryOptions& options, size_t* rows,
+                         int reps_override = 0) {
+  const int reps = reps_override > 0 ? reps_override : Reps();
+  double best = 1e300;
+  for (int i = 0; i <= reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<QueryResult> r = db->Execute(plan, options);
+    const auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      std::fprintf(stderr, "plan failed: %s\n%s\n",
+                   r.status().ToString().c_str(),
+                   plan.DebugString().c_str());
+      std::exit(1);
+    }
+    if (rows != nullptr) *rows = r->rows.size();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (i > 0 && ms < best) best = ms;  // skip warmup
+  }
+  return best;
+}
+
+/// Parses + binds `sql`, then times it like TimePlanMs.
+inline double TimeSqlMs(Database* db, const std::string& sql,
+                        const QueryOptions& options, size_t* rows,
+                        int reps_override = 0) {
+  Result<LogicalOpPtr> plan = db->Plan(sql);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bind failed: %s\nSQL: %s\n",
+                 plan.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  return TimePlanMs(db, **plan, options, rows, reps_override);
+}
+
+/// Asserts two plans produce the same multiset (sanity check before
+/// comparing their runtimes).
+inline void CheckSameResults(Database* db, const LogicalOp& a,
+                             const LogicalOp& b, const char* label) {
+  Result<QueryResult> ra = db->Execute(a, QueryOptions{});
+  Result<QueryResult> rb = db->Execute(b, QueryOptions{});
+  if (!ra.ok() || !rb.ok() ||
+      !SameRowMultiset(ra->rows, rb->rows)) {
+    std::fprintf(stderr,
+                 "BENCH INVALID: %s plans disagree (%zu vs %zu rows)\n",
+                 label, ra.ok() ? ra->rows.size() : 0,
+                 rb.ok() ? rb->rows.size() : 0);
+    std::exit(1);
+  }
+}
+
+struct RatioStats {
+  double max_benefit = 0;
+  double sum_benefit = 0;
+  double sum_wins = 0;
+  int n = 0;
+  int wins = 0;
+
+  void Add(double ratio) {
+    if (ratio > max_benefit) max_benefit = ratio;
+    sum_benefit += ratio;
+    ++n;
+    if (ratio > 1.0) {
+      sum_wins += ratio;
+      ++wins;
+    }
+  }
+  double Average() const { return n == 0 ? 0 : sum_benefit / n; }
+  double AverageOverWins() const { return wins == 0 ? 0 : sum_wins / wins; }
+};
+
+}  // namespace gapply::bench
+
+#endif  // GAPPLY_BENCH_BENCH_UTIL_H_

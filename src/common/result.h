@@ -1,0 +1,75 @@
+#ifndef GAPPLY_COMMON_RESULT_H_
+#define GAPPLY_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace gapply {
+
+/// \brief A Status plus, when OK, a value of type T.
+///
+/// The invariant is: `ok()` iff a value is present. Accessing the value of a
+/// failed Result aborts in debug builds (engine invariant violation).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from error Status (must not be OK).
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok());
+  }
+
+  /// Implicit from a value (Status is OK).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;           // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace gapply
+
+#define GAPPLY_CONCAT_INNER(a, b) a##b
+#define GAPPLY_CONCAT(a, b) GAPPLY_CONCAT_INNER(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status, otherwise
+/// assigns the value to `lhs` (which may be a declaration).
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(GAPPLY_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                          \
+  if (!tmp.ok()) return tmp.status();          \
+  lhs = std::move(tmp).value()
+
+#endif  // GAPPLY_COMMON_RESULT_H_

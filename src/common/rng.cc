@@ -1,0 +1,38 @@
+#include "src/common/rng.h"
+
+namespace gapply {
+
+uint64_t Rng::Next() {
+  state_ += 0x9e3779b97f4a7c15ull;
+  uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(Next() % range);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  const double unit = static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  return lo + unit * (hi - lo);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble(0.0, 1.0) < p;
+}
+
+std::string Rng::RandomWord(int length) {
+  std::string out;
+  out.reserve(static_cast<size_t>(length));
+  for (int i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + UniformInt(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace gapply

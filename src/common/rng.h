@@ -1,0 +1,40 @@
+#ifndef GAPPLY_COMMON_RNG_H_
+#define GAPPLY_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gapply {
+
+/// \brief Small deterministic PRNG (splitmix64 core) used by the TPC-H
+/// generator and the property tests.
+///
+/// Determinism across platforms matters more than statistical quality here:
+/// the same seed must produce the same database on every run so that test
+/// expectations and benchmark sweeps are reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ull) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Lowercase alphabetic string of the given length.
+  std::string RandomWord(int length);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_COMMON_RNG_H_

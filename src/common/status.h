@@ -1,0 +1,76 @@
+#ifndef GAPPLY_COMMON_STATUS_H_
+#define GAPPLY_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace gapply {
+
+/// Error categories used across the engine. The set is deliberately small;
+/// most call sites only distinguish ok from not-ok and surface the message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // caller passed something malformed (bad SQL, bad plan)
+  kNotFound,         // missing table / column / binding
+  kTypeError,        // expression or schema type mismatch
+  kInternal,         // engine invariant violated
+  kNotImplemented,
+};
+
+/// \brief Outcome of an operation that can fail without a payload.
+///
+/// Follows the RocksDB/Arrow idiom: no exceptions cross module boundaries;
+/// fallible functions return `Status` (or `Result<T>`, see result.h) and
+/// callers propagate with RETURN_NOT_OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "<CODE>: <message>" string (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace gapply
+
+/// Propagates a non-OK Status from the current function.
+#define RETURN_NOT_OK(expr)                        \
+  do {                                             \
+    ::gapply::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#endif  // GAPPLY_COMMON_STATUS_H_

@@ -1,0 +1,23 @@
+#ifndef GAPPLY_COMMON_STRING_UTIL_H_
+#define GAPPLY_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace gapply {
+
+/// ASCII lowercase copy (SQL keywords and identifiers are case-insensitive).
+std::string ToLower(const std::string& s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(const std::string& a, const std::string& b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Repeats `s` `n` times (plan-tree indentation helper).
+std::string Repeat(const std::string& s, int n);
+
+}  // namespace gapply
+
+#endif  // GAPPLY_COMMON_STRING_UTIL_H_

@@ -1,0 +1,93 @@
+#include "src/core/analyses.h"
+#include "src/core/rules.h"
+
+namespace gapply::core {
+
+namespace {
+
+bool IsGroupScanOf(const LogicalOp& op, const std::string& var) {
+  return op.type() == LogicalOpType::kGroupScan &&
+         static_cast<const LogicalGroupScan&>(op).var() == var;
+}
+
+std::vector<AggregateDesc> CloneAggs(const std::vector<AggregateDesc>& aggs) {
+  std::vector<AggregateDesc> out;
+  out.reserve(aggs.size());
+  for (const AggregateDesc& a : aggs) out.push_back(a.Clone());
+  return out;
+}
+
+}  // namespace
+
+Result<bool> GApplyToGroupByRule::Apply(LogicalOpPtr* node,
+                                        OptimizerContext*) {
+  if ((*node)->type() != LogicalOpType::kGApply) return false;
+  auto* gapply = static_cast<LogicalGApply*>(node->get());
+
+  // Match PGQ = [Project] (ScalarAgg | GroupBy) (GroupScan($var)).
+  const LogicalOp* pgq = gapply->pgq();
+  const LogicalProject* top_project = nullptr;
+  const LogicalOp* agg_node = pgq;
+  if (pgq->type() == LogicalOpType::kProject) {
+    top_project = static_cast<const LogicalProject*>(pgq);
+    agg_node = pgq->child(0);
+  }
+  const bool is_scalar = agg_node->type() == LogicalOpType::kScalarAgg;
+  const bool is_groupby = agg_node->type() == LogicalOpType::kGroupBy;
+  if (!is_scalar && !is_groupby) return false;
+  if (!IsGroupScanOf(*agg_node->child(0), gapply->var())) return false;
+
+  const size_t ngc = gapply->grouping_columns().size();
+
+  // Build the merged GroupBy over the outer query. The PGQ's aggregate
+  // arguments and per-group keys are expressed over the group schema, which
+  // equals the outer schema, so they transfer unchanged.
+  //   Variant (a), aggregate-only PGQ: GroupBy(outer, C, aggs)   (§4.1)
+  //   Variant (b), groupby PGQ:        GroupBy(outer, C ∪ B, aggs)
+  std::vector<int> keys = gapply->grouping_columns();
+  std::vector<AggregateDesc> aggs;
+  if (is_scalar) {
+    aggs = CloneAggs(static_cast<const LogicalScalarAgg*>(agg_node)->aggs());
+  } else {
+    const auto* gb = static_cast<const LogicalGroupBy*>(agg_node);
+    for (int k : gb->keys()) keys.push_back(k);
+    aggs = CloneAggs(gb->aggs());
+  }
+  const size_t agg_out_width =
+      agg_node->output_schema().num_columns();  // B ++ aggs (or just aggs)
+  auto grouped = std::make_unique<LogicalGroupBy>(gapply->TakeChild(0),
+                                                  std::move(keys),
+                                                  std::move(aggs));
+
+  if (top_project == nullptr) {
+    *node = std::move(grouped);
+    return true;
+  }
+
+  // Restore the original output: grouping columns from the merged GroupBy's
+  // key prefix, then the PGQ's projection with its references shifted past
+  // the grouping columns.
+  const Schema& gschema = grouped->output_schema();
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < ngc; ++i) {
+    exprs.push_back(Col(gschema, static_cast<int>(i)));
+    names.push_back(gschema.column(i).name);
+  }
+  std::vector<int> shift(agg_out_width);
+  for (size_t i = 0; i < agg_out_width; ++i) {
+    shift[i] = static_cast<int>(ngc + i);
+  }
+  for (size_t i = 0; i < top_project->exprs().size(); ++i) {
+    ASSIGN_OR_RETURN(ExprPtr e,
+                     RemapExprTree(*top_project->exprs()[i], shift, {}));
+    exprs.push_back(std::move(e));
+    names.push_back(top_project->names()[i]);
+  }
+  *node = std::make_unique<LogicalProject>(std::move(grouped),
+                                           std::move(exprs),
+                                           std::move(names));
+  return true;
+}
+
+}  // namespace gapply::core

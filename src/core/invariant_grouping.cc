@@ -1,0 +1,183 @@
+#include <set>
+#include <string>
+
+#include "src/common/string_util.h"
+#include "src/core/analyses.h"
+#include "src/core/rules.h"
+
+namespace gapply::core {
+
+namespace {
+
+// Finds the base table scanned under alias `qualifier` within `op` (left
+// subtree of the join). Returns nullptr if absent or ambiguous.
+const LogicalScan* FindScanByAlias(const LogicalOp& op,
+                                   const std::string& qualifier) {
+  if (op.type() == LogicalOpType::kScan) {
+    const auto& scan = static_cast<const LogicalScan&>(op);
+    const std::string& alias =
+        scan.alias().empty() ? scan.table_name() : scan.alias();
+    return EqualsIgnoreCase(alias, qualifier) ? &scan : nullptr;
+  }
+  const LogicalScan* found = nullptr;
+  for (size_t i = 0; i < op.num_children(); ++i) {
+    const LogicalScan* s = FindScanByAlias(*op.child(i), qualifier);
+    if (s != nullptr) {
+      if (found != nullptr) return nullptr;  // ambiguous alias
+      found = s;
+    }
+  }
+  return found;
+}
+
+bool IsExpectedBail(const Status& st) {
+  return st.code() == StatusCode::kInvalidArgument ||
+         st.code() == StatusCode::kNotImplemented;
+}
+
+}  // namespace
+
+Result<bool> InvariantGroupingRule::Apply(LogicalOpPtr* node,
+                                          OptimizerContext* ctx) {
+  if (ctx->catalog == nullptr) return false;
+  if ((*node)->type() != LogicalOpType::kGApply) return false;
+  auto* gapply = static_cast<LogicalGApply*>(node->get());
+
+  // Outer must be an annotated FK equi-join whose right child is a leaf
+  // scan (the left-deep join trees of §4).
+  if (gapply->outer()->type() != LogicalOpType::kJoin) return false;
+  auto* join = static_cast<LogicalJoin*>(gapply->outer());
+  if (join->residual() != nullptr) return false;
+  if (join->left_keys().empty()) return false;
+  if (join->child(1)->type() != LogicalOpType::kScan) return false;
+  const auto* right = static_cast<const LogicalScan*>(join->child(1));
+
+  const Schema& left_schema = join->child(0)->output_schema();
+  const int left_width = static_cast<int>(left_schema.num_columns());
+  const Schema& outer_schema = join->output_schema();
+  const int outer_width = static_cast<int>(outer_schema.num_columns());
+
+  // Definition 2, condition 1a: grouping columns present at n (= left).
+  const std::vector<int>& gcols = gapply->grouping_columns();
+  std::set<int> gcol_set(gcols.begin(), gcols.end());
+  for (int g : gcols) {
+    if (g >= left_width) return false;
+  }
+
+  // Condition 2: every join column of n is a grouping column.
+  for (int lk : join->left_keys()) {
+    if (gcol_set.count(lk) == 0) return false;
+  }
+
+  // Condition 1b: gp-eval columns present at n.
+  Result<PgqInfo> info_r = AnalyzePgq(*gapply->pgq(), gapply->var(),
+                                      outer_width);
+  if (!info_r.ok()) {
+    if (IsExpectedBail(info_r.status())) return false;
+    return info_r.status();
+  }
+  for (int c : info_r->eval_columns) {
+    if (c >= left_width) return false;
+  }
+
+  // Condition 3: the join is a foreign-key join — left key columns form a
+  // declared FK (from a single base table) onto the right leaf's primary
+  // key.
+  std::string child_alias;
+  std::vector<std::string> child_columns;
+  for (int lk : join->left_keys()) {
+    const Column& col = left_schema.column(static_cast<size_t>(lk));
+    if (col.qualifier.empty()) return false;
+    if (child_alias.empty()) {
+      child_alias = col.qualifier;
+    } else if (!EqualsIgnoreCase(child_alias, col.qualifier)) {
+      return false;  // composite FK split across tables: not an FK join
+    }
+    child_columns.push_back(col.name);
+  }
+  const LogicalScan* child_scan = FindScanByAlias(*join->child(0),
+                                                  child_alias);
+  if (child_scan == nullptr) return false;
+  std::vector<std::string> parent_columns;
+  for (int rk : join->right_keys()) {
+    parent_columns.push_back(
+        right->output_schema().column(static_cast<size_t>(rk)).name);
+  }
+  if (!ctx->catalog->IsForeignKeyJoin(child_scan->table_name(),
+                                      child_columns, right->table_name(),
+                                      parent_columns)) {
+    return false;
+  }
+
+  // Adapt the per-group query to the narrower group schema (§4.3): project
+  // lists drop right-side columns; they are re-attached by the join above.
+  std::vector<int> old_to_new(static_cast<size_t>(outer_width), -1);
+  for (int i = 0; i < left_width; ++i) old_to_new[static_cast<size_t>(i)] = i;
+  Result<RemappedPgq> adapted_r =
+      RemapPgq(*gapply->pgq(), gapply->var(), left_schema, old_to_new,
+               /*allow_dropping_passthrough=*/true);
+  if (!adapted_r.ok()) {
+    if (IsExpectedBail(adapted_r.status())) return false;
+    return adapted_r.status();
+  }
+  RemappedPgq adapted = std::move(adapted_r).value();
+
+  // Assemble: Project_restore(Join(GApply(L, C, adapted-PGQ), R)).
+  const size_t ngc = gcols.size();
+  auto new_gapply = std::make_unique<LogicalGApply>(
+      join->TakeChild(0), gcols, gapply->var(), std::move(adapted.plan),
+      gapply->mode());
+  const int gapply_width =
+      static_cast<int>(new_gapply->output_schema().num_columns());
+
+  // Join keys: the grouping columns sit at the front of GApply output.
+  std::vector<int> new_left_keys;
+  for (int lk : join->left_keys()) {
+    for (size_t i = 0; i < ngc; ++i) {
+      if (gcols[i] == lk) {
+        new_left_keys.push_back(static_cast<int>(i));
+        break;
+      }
+    }
+  }
+  if (new_left_keys.size() != join->left_keys().size()) {
+    return Status::Internal("invariant grouping: lost a join key");
+  }
+  auto new_join = std::make_unique<LogicalJoin>(
+      std::move(new_gapply), join->TakeChild(1), std::move(new_left_keys),
+      join->right_keys());
+
+  // Restore the original output schema: grouping columns, then the PGQ
+  // outputs — surviving ones from the GApply side, dropped pass-throughs
+  // from the re-attached right side.
+  const Schema& original = (*node)->output_schema();
+  const Schema& joined = new_join->output_schema();
+  std::vector<ExprPtr> out_exprs;
+  std::vector<std::string> out_names;
+  for (size_t j = 0; j < original.num_columns(); ++j) {
+    int pos;
+    if (j < ngc) {
+      pos = static_cast<int>(j);
+    } else {
+      const size_t p = j - ngc;
+      if (adapted.output_mapping[p] >= 0) {
+        pos = static_cast<int>(ngc) + adapted.output_mapping[p];
+      } else {
+        const int src = adapted.dropped_group_source[p];
+        if (src < left_width) {
+          return Status::Internal(
+              "invariant grouping: dropped column does not come from the "
+              "right side");
+        }
+        pos = gapply_width + (src - left_width);
+      }
+    }
+    out_exprs.push_back(Col(joined, pos));
+    out_names.push_back(original.column(j).name);
+  }
+  *node = std::make_unique<LogicalProject>(
+      std::move(new_join), std::move(out_exprs), std::move(out_names));
+  return true;
+}
+
+}  // namespace gapply::core

@@ -1,0 +1,107 @@
+#include <set>
+
+#include "src/core/analyses.h"
+#include "src/core/rules.h"
+
+namespace gapply::core {
+
+Result<bool> PushSelectIntoPgqRule::Apply(LogicalOpPtr* node,
+                                          OptimizerContext*) {
+  if ((*node)->type() != LogicalOpType::kSelect) return false;
+  auto* select = static_cast<LogicalSelect*>(node->get());
+  if (select->child(0)->type() != LogicalOpType::kGApply) return false;
+  auto* gapply = static_cast<LogicalGApply*>(select->child(0));
+
+  // GApply output = grouping columns ++ PGQ output. The predicate must only
+  // reference the PGQ part.
+  const size_t num_gcols = gapply->grouping_columns().size();
+  std::set<int> used;
+  select->predicate().CollectColumns(&used);
+  for (int c : used) {
+    if (c < static_cast<int>(num_gcols)) return false;
+  }
+
+  // Shift predicate indexes from GApply-output space to PGQ-output space.
+  const size_t out_width = (*node)->output_schema().num_columns();
+  std::vector<int> shift(out_width, -1);
+  for (size_t i = num_gcols; i < out_width; ++i) {
+    shift[i] = static_cast<int>(i - num_gcols);
+  }
+  ASSIGN_OR_RETURN(ExprPtr pred,
+                   RemapExprTree(select->predicate(), shift, {}));
+
+  LogicalOpPtr ga = select->TakeChild(0);
+  auto* ga_ptr = static_cast<LogicalGApply*>(ga.get());
+  LogicalOpPtr new_pgq = std::make_unique<LogicalSelect>(ga_ptr->TakePgq(),
+                                                         std::move(pred));
+  *node = std::make_unique<LogicalGApply>(
+      ga_ptr->TakeChild(0), ga_ptr->grouping_columns(), ga_ptr->var(),
+      std::move(new_pgq), ga_ptr->mode());
+  return true;
+}
+
+Result<bool> PushProjectIntoPgqRule::Apply(LogicalOpPtr* node,
+                                           OptimizerContext*) {
+  if ((*node)->type() != LogicalOpType::kProject) return false;
+  auto* project = static_cast<LogicalProject*>(node->get());
+  if (project->child(0)->type() != LogicalOpType::kGApply) return false;
+  auto* gapply = static_cast<LogicalGApply*>(project->child(0));
+
+  const size_t num_gcols = gapply->grouping_columns().size();
+  const size_t pgq_width = gapply->pgq()->output_schema().num_columns();
+
+  // The projection must keep every grouping column (the paper's rule is
+  // π_{C∪B}) and be a pure column selection.
+  std::set<int> kept_gcols;
+  std::vector<int> kept_pgq_cols;  // in projection order
+  for (const ExprPtr& e : project->exprs()) {
+    if (e->kind() != ExprKind::kColumnRef) return false;
+    const int idx = static_cast<const ColumnRefExpr&>(*e).index();
+    if (idx < static_cast<int>(num_gcols)) {
+      kept_gcols.insert(idx);
+    } else {
+      kept_pgq_cols.push_back(idx - static_cast<int>(num_gcols));
+    }
+  }
+  if (kept_gcols.size() != num_gcols) return false;
+  // Only profitable (and guaranteed-terminating) if the PGQ output actually
+  // shrinks.
+  if (kept_pgq_cols.size() >= pgq_width) return false;
+
+  // New PGQ: project the kept per-group columns (in projection order).
+  const Schema& pgq_schema = gapply->pgq()->output_schema();
+  std::vector<ExprPtr> pgq_exprs;
+  std::vector<std::string> pgq_names;
+  for (int c : kept_pgq_cols) {
+    pgq_exprs.push_back(Col(pgq_schema, c));
+    pgq_names.push_back(pgq_schema.column(static_cast<size_t>(c)).name);
+  }
+  LogicalOpPtr ga = project->TakeChild(0);
+  auto* ga_ptr = static_cast<LogicalGApply*>(ga.get());
+  LogicalOpPtr new_pgq = std::make_unique<LogicalProject>(
+      ga_ptr->TakePgq(), std::move(pgq_exprs), std::move(pgq_names));
+  auto new_ga = std::make_unique<LogicalGApply>(
+      ga_ptr->TakeChild(0), ga_ptr->grouping_columns(), ga_ptr->var(),
+      std::move(new_pgq), ga_ptr->mode());
+
+  // Rebuild the outer projection to reproduce the original output order
+  // against the new GApply output (gcols, then kept pgq cols in order).
+  const Schema& new_schema = new_ga->output_schema();
+  std::vector<ExprPtr> out_exprs;
+  size_t next_pgq = 0;
+  for (size_t i = 0; i < project->exprs().size(); ++i) {
+    const int idx =
+        static_cast<const ColumnRefExpr&>(*project->exprs()[i]).index();
+    if (idx < static_cast<int>(num_gcols)) {
+      out_exprs.push_back(Col(new_schema, idx));
+    } else {
+      out_exprs.push_back(
+          Col(new_schema, static_cast<int>(num_gcols + next_pgq++)));
+    }
+  }
+  *node = std::make_unique<LogicalProject>(
+      std::move(new_ga), std::move(out_exprs), project->names());
+  return true;
+}
+
+}  // namespace gapply::core

@@ -1,0 +1,62 @@
+#include "src/engine/database.h"
+
+namespace gapply {
+
+Status Database::LoadTpch(const tpch::TpchConfig& config) {
+  RETURN_NOT_OK(tpch::Generate(config, &catalog_));
+  return stats_.AnalyzeAll(catalog_);
+}
+
+Result<LogicalOpPtr> Database::Plan(const std::string& sql) const {
+  return sql::ParseAndBind(catalog_, sql);
+}
+
+Result<QueryResult> Database::Query(const std::string& sql,
+                                    const QueryOptions& options,
+                                    QueryStats* stats_out) {
+  ASSIGN_OR_RETURN(LogicalOpPtr plan, Plan(sql));
+  return Execute(*plan, options, stats_out);
+}
+
+Result<QueryResult> Database::Execute(const LogicalOp& plan,
+                                      const QueryOptions& options,
+                                      QueryStats* stats_out) {
+  LogicalOpPtr working = plan.Clone();
+  if (options.optimize) {
+    Optimizer optimizer(&catalog_, &stats_, options.optimizer);
+    ASSIGN_OR_RETURN(working, optimizer.Optimize(std::move(working)));
+    if (stats_out != nullptr) {
+      stats_out->fired_rules = optimizer.fired_rules();
+    }
+  }
+  ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, options.lowering));
+  ExecContext ctx;
+  ASSIGN_OR_RETURN(QueryResult result, ExecuteToVector(phys.get(), &ctx));
+  if (stats_out != nullptr) stats_out->counters = ctx.counters();
+  return result;
+}
+
+Result<std::string> Database::Explain(const std::string& sql,
+                                      const QueryOptions& options) {
+  ASSIGN_OR_RETURN(LogicalOpPtr plan, Plan(sql));
+  std::string out = "=== bound plan ===\n" + plan->DebugString();
+  if (options.optimize) {
+    Optimizer optimizer(&catalog_, &stats_, options.optimizer);
+    ASSIGN_OR_RETURN(LogicalOpPtr optimized,
+                     optimizer.Optimize(std::move(plan)));
+    out += "=== optimized plan ===\n" + optimized->DebugString();
+    out += "=== fired rules ===\n";
+    if (optimizer.fired_rules().empty()) {
+      out += "(none)\n";
+    } else {
+      for (const std::string& r : optimizer.fired_rules()) {
+        out += r + "\n";
+      }
+    }
+    ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*optimized, options.lowering));
+    out += "=== physical plan ===\n" + phys->DebugString();
+  }
+  return out;
+}
+
+}  // namespace gapply

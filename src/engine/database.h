@@ -1,0 +1,80 @@
+#ifndef GAPPLY_ENGINE_DATABASE_H_
+#define GAPPLY_ENGINE_DATABASE_H_
+
+#include <string>
+
+#include "src/exec/lowering.h"
+#include "src/exec/physical_op.h"
+#include "src/optimizer/optimizer.h"
+#include "src/sql/binder.h"
+#include "src/stats/stats.h"
+#include "src/storage/catalog.h"
+#include "src/tpch/tpch_gen.h"
+
+namespace gapply {
+
+/// Per-query knobs (see Database::Query).
+struct QueryOptions {
+  /// Run the rule optimizer (disable to execute the bound plan as-is —
+  /// the benches' no-GApply baselines do this).
+  bool optimize = true;
+  Optimizer::Options optimizer;
+  LoweringOptions lowering;
+};
+
+/// Execution counters + fired-rule log for one query.
+struct QueryStats {
+  ExecContext::Counters counters;
+  std::vector<std::string> fired_rules;
+};
+
+/// \brief Top-level facade: catalog + statistics + SQL front end +
+/// optimizer + executor.
+///
+/// Typical use:
+///   Database db;
+///   db.LoadTpch({.scale_factor = 0.01});
+///   auto result = db.Query(
+///       "select gapply(select count(*) from g) "
+///       "from partsupp group by ps_suppkey : g");
+class Database {
+ public:
+  Database() = default;
+
+  /// Populates the catalog with the synthetic TPC-H subset and gathers
+  /// statistics.
+  Status LoadTpch(const tpch::TpchConfig& config);
+
+  Catalog* catalog() { return &catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  StatsManager* stats() { return &stats_; }
+
+  /// (Re)computes statistics for every table.
+  Status Analyze() { return stats_.AnalyzeAll(catalog_); }
+
+  /// Parses, binds, optimizes, and executes `sql`. `stats_out` (optional)
+  /// receives execution counters and the fired-rule log.
+  Result<QueryResult> Query(const std::string& sql,
+                            const QueryOptions& options = {},
+                            QueryStats* stats_out = nullptr);
+
+  /// Executes an already-built logical plan.
+  Result<QueryResult> Execute(const LogicalOp& plan,
+                              const QueryOptions& options = {},
+                              QueryStats* stats_out = nullptr);
+
+  /// Parses + binds without optimizing (tests, EXPLAIN).
+  Result<LogicalOpPtr> Plan(const std::string& sql) const;
+
+  /// Multi-line report: bound plan, optimized plan, fired rules.
+  Result<std::string> Explain(const std::string& sql,
+                              const QueryOptions& options = {});
+
+ private:
+  Catalog catalog_;
+  StatsManager stats_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_ENGINE_DATABASE_H_

@@ -1,0 +1,259 @@
+#include "src/exec/agg_ops.h"
+
+namespace gapply {
+
+namespace {
+
+Row ExtractKey(const Row& row, const std::vector<int>& cols) {
+  Row key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+Status AddRowToAccumulators(
+    const std::vector<AggregateDesc>& aggs,
+    const std::vector<std::unique_ptr<AggAccumulator>>& accs, const Row& row,
+    const EvalContext& eval) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].kind == AggKind::kCountStar) {
+      RETURN_NOT_OK(accs[i]->Add(Value::Bool(true)));
+    } else {
+      ASSIGN_OR_RETURN(Value v, aggs[i].arg->Eval(row, eval));
+      RETURN_NOT_OK(accs[i]->Add(v));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<AggAccumulator>> MakeAccumulators(
+    const std::vector<AggregateDesc>& aggs) {
+  std::vector<std::unique_ptr<AggAccumulator>> accs;
+  accs.reserve(aggs.size());
+  for (const AggregateDesc& a : aggs) {
+    accs.push_back(CreateAccumulator(a.kind, a.distinct));
+  }
+  return accs;
+}
+
+std::string AggList(const std::vector<AggregateDesc>& aggs) {
+  std::string out;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs[i].ToString();
+  }
+  return out;
+}
+
+}  // namespace
+
+Schema HashGroupByOp::MakeOutputSchema(const Schema& input,
+                                       const std::vector<int>& key_columns,
+                                       const std::vector<AggregateDesc>& aggs) {
+  Schema out;
+  for (int c : key_columns) out.AddColumn(input.column(static_cast<size_t>(c)));
+  for (const AggregateDesc& a : aggs) {
+    out.AddColumn(Column(a.output_name, a.OutputType(), ""));
+  }
+  return out;
+}
+
+HashGroupByOp::HashGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
+                             std::vector<AggregateDesc> aggs)
+    : PhysOp(MakeOutputSchema(child->output_schema(), key_columns, aggs)),
+      child_(std::move(child)),
+      key_columns_(std::move(key_columns)),
+      aggs_(std::move(aggs)) {}
+
+Status HashGroupByOp::Open(ExecContext* ctx) {
+  output_.clear();
+  pos_ = 0;
+  RETURN_NOT_OK(child_->Open(ctx));
+
+  // Key → accumulator set; groups_order keeps first-appearance order.
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<std::unique_ptr<AggAccumulator>>> groups;
+
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    if (!has) break;
+    Row key = ExtractKey(row, key_columns_);
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) {
+      keys.push_back(std::move(key));
+      groups.push_back(MakeAccumulators(aggs_));
+    }
+    RETURN_NOT_OK(
+        AddRowToAccumulators(aggs_, groups[it->second], row, *ctx->eval()));
+  }
+  RETURN_NOT_OK(child_->Close(ctx));
+
+  output_.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Row out = keys[g];
+    for (const auto& acc : groups[g]) out.push_back(acc->Finish());
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Result<bool> HashGroupByOp::Next(ExecContext*, Row* out) {
+  if (pos_ >= output_.size()) return false;
+  *out = output_[pos_++];
+  return true;
+}
+
+Status HashGroupByOp::Close(ExecContext*) {
+  output_.clear();
+  return Status::OK();
+}
+
+std::string HashGroupByOp::DebugName() const {
+  std::string keys;
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (i > 0) keys += ",";
+    keys += child_->output_schema()
+                .column(static_cast<size_t>(key_columns_[i]))
+                .name;
+  }
+  return "HashGroupBy(keys=[" + keys + "], aggs=[" + AggList(aggs_) + "])";
+}
+
+StreamGroupByOp::StreamGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
+                                 std::vector<AggregateDesc> aggs)
+    : PhysOp(HashGroupByOp::MakeOutputSchema(child->output_schema(),
+                                             key_columns, aggs)),
+      child_(std::move(child)),
+      key_columns_(std::move(key_columns)),
+      aggs_(std::move(aggs)) {}
+
+Status StreamGroupByOp::Open(ExecContext* ctx) {
+  in_group_ = false;
+  child_done_ = false;
+  have_pending_ = false;
+  return child_->Open(ctx);
+}
+
+Status StreamGroupByOp::StartGroup(const Row& row) {
+  accs_ = MakeAccumulators(aggs_);
+  current_key_ = ExtractKey(row, key_columns_);
+  in_group_ = true;
+  return Status::OK();
+}
+
+Status StreamGroupByOp::Accumulate(ExecContext* ctx, const Row& row) {
+  return AddRowToAccumulators(aggs_, accs_, row, *ctx->eval());
+}
+
+Row StreamGroupByOp::FinishGroup() {
+  Row out = current_key_;
+  for (const auto& acc : accs_) out.push_back(acc->Finish());
+  in_group_ = false;
+  return out;
+}
+
+Result<bool> StreamGroupByOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    Row row;
+    bool has = false;
+    if (have_pending_) {
+      row = std::move(pending_);
+      have_pending_ = false;
+      has = true;
+    } else if (!child_done_) {
+      ASSIGN_OR_RETURN(has, child_->Next(ctx, &row));
+      if (!has) child_done_ = true;
+    }
+
+    if (!has) {
+      if (in_group_) {
+        *out = FinishGroup();
+        return true;
+      }
+      return false;
+    }
+
+    if (!in_group_) {
+      RETURN_NOT_OK(StartGroup(row));
+      RETURN_NOT_OK(Accumulate(ctx, row));
+      continue;
+    }
+    if (RowsEqual(ExtractKey(row, key_columns_), current_key_)) {
+      RETURN_NOT_OK(Accumulate(ctx, row));
+      continue;
+    }
+    // Row belongs to the next group: emit the finished group and buffer it.
+    pending_ = std::move(row);
+    have_pending_ = true;
+    *out = FinishGroup();
+    return true;
+  }
+}
+
+Status StreamGroupByOp::Close(ExecContext* ctx) {
+  accs_.clear();
+  return child_->Close(ctx);
+}
+
+std::string StreamGroupByOp::DebugName() const {
+  return "StreamGroupBy(aggs=[" + AggList(aggs_) + "])";
+}
+
+ScalarAggOp::ScalarAggOp(PhysOpPtr child, std::vector<AggregateDesc> aggs)
+    : PhysOp(HashGroupByOp::MakeOutputSchema(child->output_schema(), {},
+                                             aggs)),
+      child_(std::move(child)),
+      aggs_(std::move(aggs)) {}
+
+Status ScalarAggOp::Open(ExecContext* ctx) {
+  emitted_ = false;
+  return child_->Open(ctx);
+}
+
+Result<bool> ScalarAggOp::Next(ExecContext* ctx, Row* out) {
+  if (emitted_) return false;
+  auto accs = MakeAccumulators(aggs_);
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    if (!has) break;
+    RETURN_NOT_OK(AddRowToAccumulators(aggs_, accs, row, *ctx->eval()));
+  }
+  out->clear();
+  for (const auto& acc : accs) out->push_back(acc->Finish());
+  emitted_ = true;
+  return true;
+}
+
+Status ScalarAggOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+
+std::string ScalarAggOp::DebugName() const {
+  return "ScalarAgg(" + AggList(aggs_) + ")";
+}
+
+DistinctOp::DistinctOp(PhysOpPtr child)
+    : PhysOp(child->output_schema()), child_(std::move(child)) {}
+
+Status DistinctOp::Open(ExecContext* ctx) {
+  seen_.clear();
+  return child_->Open(ctx);
+}
+
+Result<bool> DistinctOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, out));
+    if (!has) return false;
+    if (seen_.try_emplace(*out, true).second) return true;
+  }
+}
+
+Status DistinctOp::Close(ExecContext* ctx) {
+  seen_.clear();
+  return child_->Close(ctx);
+}
+
+std::string DistinctOp::DebugName() const { return "Distinct"; }
+
+}  // namespace gapply

@@ -1,0 +1,116 @@
+#ifndef GAPPLY_EXEC_AGG_OPS_H_
+#define GAPPLY_EXEC_AGG_OPS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/physical_op.h"
+#include "src/expr/aggregate.h"
+
+namespace gapply {
+
+/// \brief Hash-based GROUP BY: output one row per distinct key combination,
+/// key columns first, then one column per aggregate.
+///
+/// Output group order is first-appearance order in the input (deterministic
+/// for a deterministic child).
+class HashGroupByOp : public PhysOp {
+ public:
+  HashGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
+                std::vector<AggregateDesc> aggs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+  /// Shared with StreamGroupByOp: keys' columns followed by agg outputs.
+  static Schema MakeOutputSchema(const Schema& input,
+                                 const std::vector<int>& key_columns,
+                                 const std::vector<AggregateDesc>& aggs);
+
+ private:
+  PhysOpPtr child_;
+  std::vector<int> key_columns_;
+  std::vector<AggregateDesc> aggs_;
+
+  std::vector<Row> output_;
+  size_t pos_ = 0;
+};
+
+/// \brief Streaming GROUP BY over input already clustered on the key columns
+/// (e.g. below a Sort). Emits each group's row as soon as the group ends —
+/// the non-blocking alternative the paper contrasts with GApply's blocking
+/// behaviour (§5.2, "GApply is blocked ... the conversion to groupby
+/// helps").
+class StreamGroupByOp : public PhysOp {
+ public:
+  StreamGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
+                  std::vector<AggregateDesc> aggs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+ private:
+  Status StartGroup(const Row& row);
+  Status Accumulate(ExecContext* ctx, const Row& row);
+  Row FinishGroup();
+
+  PhysOpPtr child_;
+  std::vector<int> key_columns_;
+  std::vector<AggregateDesc> aggs_;
+
+  std::vector<std::unique_ptr<AggAccumulator>> accs_;
+  Row current_key_;
+  bool in_group_ = false;
+  bool child_done_ = false;
+  Row pending_;  // first row of the next group, buffered across Next calls
+  bool have_pending_ = false;
+};
+
+/// \brief Aggregation without grouping: exactly one output row, even on
+/// empty input (COUNT → 0, others → NULL). This "not empty on empty" SQL
+/// behaviour is what forces the emptyOnEmpty check in the paper's
+/// selection-pushing rule (§4.1).
+class ScalarAggOp : public PhysOp {
+ public:
+  ScalarAggOp(PhysOpPtr child, std::vector<AggregateDesc> aggs);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+ private:
+  PhysOpPtr child_;
+  std::vector<AggregateDesc> aggs_;
+  bool emitted_ = false;
+};
+
+/// Duplicate elimination over whole rows (multiset → set), streaming first
+/// occurrences.
+class DistinctOp : public PhysOp {
+ public:
+  explicit DistinctOp(PhysOpPtr child);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+ private:
+  PhysOpPtr child_;
+  std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_AGG_OPS_H_

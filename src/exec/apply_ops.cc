@@ -1,0 +1,222 @@
+#include "src/exec/apply_ops.h"
+
+namespace gapply {
+
+ApplyOp::ApplyOp(PhysOpPtr outer, PhysOpPtr inner,
+                 bool cache_uncorrelated_inner)
+    : PhysOp(Schema::Concat(outer->output_schema(), inner->output_schema())),
+      outer_(std::move(outer)),
+      inner_(std::move(inner)),
+      cache_inner_(cache_uncorrelated_inner) {}
+
+Status ApplyOp::Open(ExecContext* ctx) {
+  inner_open_ = false;
+  cache_valid_ = false;
+  cache_.clear();
+  return outer_->Open(ctx);
+}
+
+Status ApplyOp::CloseInner(ExecContext* ctx) {
+  RETURN_NOT_OK(inner_->Close(ctx));
+  ctx->eval()->outer_rows.pop_back();
+  inner_open_ = false;
+  return Status::OK();
+}
+
+Result<bool> ApplyOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if (!inner_open_) {
+      ASSIGN_OR_RETURN(bool has, outer_->Next(ctx, &current_outer_));
+      if (!has) return false;
+      ctx->eval()->outer_rows.push_back(&current_outer_);
+      if (cache_inner_ && !cache_valid_) {
+        // The inner does not depend on the outer row: evaluate once and
+        // replay for every subsequent outer row of this execution.
+        Status st = inner_->Open(ctx);
+        if (!st.ok()) {
+          ctx->eval()->outer_rows.pop_back();
+          return st;
+        }
+        ctx->counters().apply_invocations++;
+        Row row;
+        while (true) {
+          auto next = inner_->Next(ctx, &row);
+          if (!next.ok()) {
+            (void)inner_->Close(ctx);
+            ctx->eval()->outer_rows.pop_back();
+            return next.status();
+          }
+          if (!*next) break;
+          cache_.push_back(row);
+        }
+        Status close = inner_->Close(ctx);
+        if (!close.ok()) {
+          ctx->eval()->outer_rows.pop_back();
+          return close;
+        }
+        cache_valid_ = true;
+      } else if (!cache_inner_) {
+        Status st = inner_->Open(ctx);
+        if (!st.ok()) {
+          ctx->eval()->outer_rows.pop_back();
+          return st;
+        }
+        ctx->counters().apply_invocations++;
+      }
+      inner_open_ = true;
+      cache_pos_ = 0;
+    }
+
+    if (cache_inner_) {
+      if (cache_pos_ < cache_.size()) {
+        const Row& inner_row = cache_[cache_pos_++];
+        out->clear();
+        out->reserve(current_outer_.size() + inner_row.size());
+        out->insert(out->end(), current_outer_.begin(), current_outer_.end());
+        out->insert(out->end(), inner_row.begin(), inner_row.end());
+        return true;
+      }
+      ctx->eval()->outer_rows.pop_back();
+      inner_open_ = false;
+      continue;
+    }
+
+    Row inner_row;
+    auto next = inner_->Next(ctx, &inner_row);
+    if (!next.ok()) {
+      (void)CloseInner(ctx);
+      return next.status();
+    }
+    if (*next) {
+      out->clear();
+      out->reserve(current_outer_.size() + inner_row.size());
+      out->insert(out->end(), current_outer_.begin(), current_outer_.end());
+      out->insert(out->end(), inner_row.begin(), inner_row.end());
+      return true;
+    }
+    RETURN_NOT_OK(CloseInner(ctx));
+  }
+}
+
+Status ApplyOp::Close(ExecContext* ctx) {
+  if (inner_open_) {
+    if (cache_inner_) {
+      ctx->eval()->outer_rows.pop_back();
+      inner_open_ = false;
+    } else {
+      RETURN_NOT_OK(CloseInner(ctx));
+    }
+  }
+  cache_.clear();
+  cache_valid_ = false;
+  return outer_->Close(ctx);
+}
+
+std::string ApplyOp::DebugName() const {
+  return cache_inner_ ? "Apply(cached inner)" : "Apply";
+}
+
+ExistsOp::ExistsOp(PhysOpPtr child, bool negated)
+    : PhysOp(Schema()), child_(std::move(child)), negated_(negated) {}
+
+Status ExistsOp::Open(ExecContext* ctx) {
+  done_ = false;
+  return child_->Open(ctx);
+}
+
+Result<bool> ExistsOp::Next(ExecContext* ctx, Row* out) {
+  if (done_) return false;
+  done_ = true;
+  Row row;
+  ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+  out->clear();
+  return negated_ ? !has : has;
+}
+
+Status ExistsOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+
+std::string ExistsOp::DebugName() const {
+  return negated_ ? "NotExists" : "Exists";
+}
+
+Result<Schema> UnifySchemas(const std::vector<const Schema*>& schemas) {
+  if (schemas.empty()) {
+    return Status::InvalidArgument("union of zero branches");
+  }
+  const size_t arity = schemas[0]->num_columns();
+  Schema out;
+  for (size_t c = 0; c < arity; ++c) {
+    TypeId unified = schemas[0]->column(c).type;
+    for (size_t b = 1; b < schemas.size(); ++b) {
+      if (schemas[b]->num_columns() != arity) {
+        return Status::TypeError("union branches have different arity");
+      }
+      const TypeId t = schemas[b]->column(c).type;
+      if (t == unified || t == TypeId::kNull) continue;
+      if (unified == TypeId::kNull) {
+        unified = t;
+      } else if (IsNumeric(t) && IsNumeric(unified)) {
+        unified = TypeId::kDouble;
+      } else {
+        return Status::TypeError(
+            "union branch column " + std::to_string(c) +
+            " has incompatible type " + TypeName(t) + " vs " +
+            TypeName(unified));
+      }
+    }
+    out.AddColumn(Column(schemas[0]->column(c).name, unified, ""));
+  }
+  return out;
+}
+
+UnionAllOp::UnionAllOp(Schema schema, std::vector<PhysOpPtr> children)
+    : PhysOp(std::move(schema)), children_(std::move(children)) {}
+
+Result<PhysOpPtr> UnionAllOp::Make(std::vector<PhysOpPtr> children) {
+  std::vector<const Schema*> schemas;
+  schemas.reserve(children.size());
+  for (const PhysOpPtr& c : children) schemas.push_back(&c->output_schema());
+  ASSIGN_OR_RETURN(Schema schema, UnifySchemas(schemas));
+  return PhysOpPtr(new UnionAllOp(std::move(schema), std::move(children)));
+}
+
+Status UnionAllOp::Open(ExecContext* ctx) {
+  current_ = 0;
+  if (!children_.empty()) RETURN_NOT_OK(children_[0]->Open(ctx));
+  return Status::OK();
+}
+
+Result<bool> UnionAllOp::Next(ExecContext* ctx, Row* out) {
+  while (current_ < children_.size()) {
+    ASSIGN_OR_RETURN(bool has, children_[current_]->Next(ctx, out));
+    if (has) return true;
+    RETURN_NOT_OK(children_[current_]->Close(ctx));
+    ++current_;
+    if (current_ < children_.size()) {
+      RETURN_NOT_OK(children_[current_]->Open(ctx));
+    }
+  }
+  return false;
+}
+
+Status UnionAllOp::Close(ExecContext* ctx) {
+  // Children at indexes < current_ are already closed by Next.
+  if (current_ < children_.size()) {
+    RETURN_NOT_OK(children_[current_]->Close(ctx));
+    current_ = children_.size();
+  }
+  return Status::OK();
+}
+
+std::string UnionAllOp::DebugName() const {
+  return "UnionAll(" + std::to_string(children_.size()) + " branches)";
+}
+
+std::vector<const PhysOp*> UnionAllOp::children() const {
+  std::vector<const PhysOp*> out;
+  out.reserve(children_.size());
+  for (const PhysOpPtr& c : children_) out.push_back(c.get());
+  return out;
+}
+
+}  // namespace gapply

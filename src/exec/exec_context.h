@@ -1,0 +1,84 @@
+#ifndef GAPPLY_EXEC_EXEC_CONTEXT_H_
+#define GAPPLY_EXEC_EXEC_CONTEXT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/expr/expr.h"
+#include "src/storage/schema.h"
+
+namespace gapply {
+
+/// \brief Per-execution mutable state shared by all operators in a plan.
+///
+/// Holds the two kinds of parameter bindings the paper's algebra needs:
+///  - the outer-row stack for `Apply` (single-tuple parameters), living in
+///    the embedded EvalContext used by expression evaluation, and
+///  - named *relation-valued* bindings for `GApply` (the paper's core
+///    addition, §3): GApply binds each group in succession under its
+///    variable name; `GroupScan` leaves read it. Bindings are stacks so
+///    nested GApply over the same variable name shadows correctly.
+///
+/// Also exposes execution counters the benches use to verify plan-structure
+/// claims (e.g., that a rule actually reduced scanned rows).
+class ExecContext {
+ public:
+  struct Counters {
+    uint64_t rows_scanned = 0;       // base-table rows produced by TableScan
+    uint64_t group_rows_scanned = 0; // rows produced by GroupScan
+    uint64_t pgq_executions = 0;     // per-group query invocations
+    uint64_t apply_invocations = 0;  // inner re-executions by Apply
+    uint64_t rows_sorted = 0;
+    uint64_t rows_hash_partitioned = 0;
+
+    void Reset() { *this = Counters(); }
+  };
+
+  EvalContext* eval() { return &eval_; }
+  const EvalContext& eval() const { return eval_; }
+
+  Counters& counters() { return counters_; }
+
+  /// Pushes a group binding for `var`. `schema` and `rows` must outlive the
+  /// binding.
+  void BindGroup(const std::string& var, const Schema* schema,
+                 const std::vector<Row>* rows) {
+    groups_[var].push_back({schema, rows});
+  }
+
+  /// Pops the innermost binding for `var`.
+  Status UnbindGroup(const std::string& var) {
+    auto it = groups_.find(var);
+    if (it == groups_.end() || it->second.empty()) {
+      return Status::Internal("unbind of unbound group variable: " + var);
+    }
+    it->second.pop_back();
+    if (it->second.empty()) groups_.erase(it);
+    return Status::OK();
+  }
+
+  /// Innermost binding for `var`.
+  Result<std::pair<const Schema*, const std::vector<Row>*>> GetGroup(
+      const std::string& var) const {
+    auto it = groups_.find(var);
+    if (it == groups_.end() || it->second.empty()) {
+      return Status::Internal("group variable not bound: " + var);
+    }
+    return it->second.back();
+  }
+
+ private:
+  EvalContext eval_;
+  std::map<std::string,
+           std::vector<std::pair<const Schema*, const std::vector<Row>*>>>
+      groups_;
+  Counters counters_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_EXEC_CONTEXT_H_

@@ -1,0 +1,139 @@
+#include "src/exec/filter_project_ops.h"
+
+#include <algorithm>
+
+namespace gapply {
+
+FilterOp::FilterOp(PhysOpPtr child, ExprPtr predicate)
+    : PhysOp(child->output_schema()),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)) {}
+
+Status FilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> FilterOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, out));
+    if (!has) return false;
+    ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out, *ctx->eval()));
+    if (pass) return true;
+  }
+}
+
+Status FilterOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+
+std::string FilterOp::DebugName() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+ProjectOp::ProjectOp(Schema schema, PhysOpPtr child,
+                     std::vector<ExprPtr> exprs)
+    : PhysOp(std::move(schema)),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Result<PhysOpPtr> ProjectOp::Make(PhysOpPtr child, std::vector<ExprPtr> exprs,
+                                  std::vector<std::string> names) {
+  if (exprs.size() != names.size()) {
+    return Status::InvalidArgument("Project: exprs/names size mismatch");
+  }
+  Schema schema;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    schema.AddColumn(Column(names[i], exprs[i]->type(), ""));
+  }
+  return PhysOpPtr(
+      new ProjectOp(std::move(schema), std::move(child), std::move(exprs)));
+}
+
+Status ProjectOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+
+Result<bool> ProjectOp::Next(ExecContext* ctx, Row* out) {
+  Row in;
+  ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &in));
+  if (!has) return false;
+  out->clear();
+  out->reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) {
+    ASSIGN_OR_RETURN(Value v, e->Eval(in, *ctx->eval()));
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+Status ProjectOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+
+std::string ProjectOp::DebugName() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+  }
+  out += ")";
+  return out;
+}
+
+int CompareForSort(const Value& a, const Value& b) {
+  if (a.is_null() && b.is_null()) return 0;
+  if (a.is_null()) return -1;
+  if (b.is_null()) return 1;
+  Result<int> c = Value::Compare(a, b);
+  if (c.ok()) return *c;
+  // Incomparable types: order by type tag for a stable total order.
+  const int ta = static_cast<int>(a.type());
+  const int tb = static_cast<int>(b.type());
+  return ta < tb ? -1 : (ta > tb ? 1 : 0);
+}
+
+SortOp::SortOp(PhysOpPtr child, std::vector<SortKey> keys)
+    : PhysOp(child->output_schema()),
+      child_(std::move(child)),
+      keys_(std::move(keys)) {}
+
+Status SortOp::Open(ExecContext* ctx) {
+  rows_.clear();
+  pos_ = 0;
+  RETURN_NOT_OK(child_->Open(ctx));
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    if (!has) break;
+    rows_.push_back(std::move(row));
+  }
+  RETURN_NOT_OK(child_->Close(ctx));
+  ctx->counters().rows_sorted += rows_.size();
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [this](const Row& a, const Row& b) {
+                     for (const SortKey& k : keys_) {
+                       const int c =
+                           CompareForSort(a[static_cast<size_t>(k.column)],
+                                          b[static_cast<size_t>(k.column)]);
+                       if (c != 0) return k.ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return Status::OK();
+}
+
+Result<bool> SortOp::Next(ExecContext*, Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+Status SortOp::Close(ExecContext*) {
+  rows_.clear();
+  return Status::OK();
+}
+
+std::string SortOp::DebugName() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.column(static_cast<size_t>(keys_[i].column)).name;
+    if (!keys_[i].ascending) out += " desc";
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace gapply

@@ -1,0 +1,80 @@
+#ifndef GAPPLY_EXEC_FILTER_PROJECT_OPS_H_
+#define GAPPLY_EXEC_FILTER_PROJECT_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/physical_op.h"
+#include "src/expr/expr.h"
+
+namespace gapply {
+
+/// Emits input rows whose predicate evaluates to TRUE (NULL rejects).
+class FilterOp : public PhysOp {
+ public:
+  FilterOp(PhysOpPtr child, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+ private:
+  PhysOpPtr child_;
+  ExprPtr predicate_;
+};
+
+/// Computes one output column per expression.
+class ProjectOp : public PhysOp {
+ public:
+  /// Builds the output schema from the expressions' static types and
+  /// `names` (same length as `exprs`).
+  static Result<PhysOpPtr> Make(PhysOpPtr child, std::vector<ExprPtr> exprs,
+                                std::vector<std::string> names);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+ private:
+  ProjectOp(Schema schema, PhysOpPtr child, std::vector<ExprPtr> exprs);
+
+  PhysOpPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+/// Sort key: column index + direction. NULLs order first.
+struct SortKey {
+  int column = 0;
+  bool ascending = true;
+};
+
+/// Total-order comparison used by Sort and by group-boundary detection:
+/// NULL sorts before every non-NULL value; incomparable types fall back to
+/// TypeId ordering so sorting never fails.
+int CompareForSort(const Value& a, const Value& b);
+
+/// Full in-memory sort (the Partition phase of sort-mode GApply reuses it).
+class SortOp : public PhysOp {
+ public:
+  SortOp(PhysOpPtr child, std::vector<SortKey> keys);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override { return {child_.get()}; }
+
+ private:
+  PhysOpPtr child_;
+  std::vector<SortKey> keys_;
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_FILTER_PROJECT_OPS_H_

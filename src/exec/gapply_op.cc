@@ -1,0 +1,163 @@
+#include "src/exec/gapply_op.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/exec/filter_project_ops.h"
+
+namespace gapply {
+
+namespace {
+
+Schema MakeGApplySchema(const Schema& outer,
+                        const std::vector<int>& grouping_columns,
+                        const Schema& pgq) {
+  Schema out;
+  for (int c : grouping_columns) {
+    out.AddColumn(outer.column(static_cast<size_t>(c)));
+  }
+  return Schema::Concat(out, pgq);
+}
+
+Row ExtractKey(const Row& row, const std::vector<int>& cols) {
+  Row key;
+  key.reserve(cols.size());
+  for (int c : cols) key.push_back(row[static_cast<size_t>(c)]);
+  return key;
+}
+
+}  // namespace
+
+const char* PartitionModeName(PartitionMode mode) {
+  return mode == PartitionMode::kSort ? "sort" : "hash";
+}
+
+GApplyOp::GApplyOp(PhysOpPtr outer, std::vector<int> grouping_columns,
+                   std::string var_name, PhysOpPtr pgq, PartitionMode mode)
+    : PhysOp(MakeGApplySchema(outer->output_schema(), grouping_columns,
+                              pgq->output_schema())),
+      outer_(std::move(outer)),
+      grouping_columns_(std::move(grouping_columns)),
+      var_name_(std::move(var_name)),
+      pgq_(std::move(pgq)),
+      mode_(mode) {}
+
+Status GApplyOp::Partition(ExecContext* ctx) {
+  group_keys_.clear();
+  groups_.clear();
+
+  RETURN_NOT_OK(outer_->Open(ctx));
+  std::vector<Row> input;
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, outer_->Next(ctx, &row));
+    if (!has) break;
+    input.push_back(std::move(row));
+  }
+  RETURN_NOT_OK(outer_->Close(ctx));
+
+  if (mode_ == PartitionMode::kSort) {
+    ctx->counters().rows_sorted += input.size();
+    std::stable_sort(input.begin(), input.end(),
+                     [this](const Row& a, const Row& b) {
+                       for (int c : grouping_columns_) {
+                         const int cmp =
+                             CompareForSort(a[static_cast<size_t>(c)],
+                                            b[static_cast<size_t>(c)]);
+                         if (cmp != 0) return cmp < 0;
+                       }
+                       return false;
+                     });
+    for (Row& r : input) {
+      Row key = ExtractKey(r, grouping_columns_);
+      if (group_keys_.empty() || !RowsEqual(group_keys_.back(), key)) {
+        group_keys_.push_back(std::move(key));
+        groups_.emplace_back();
+      }
+      groups_.back().push_back(std::move(r));
+    }
+  } else {
+    ctx->counters().rows_hash_partitioned += input.size();
+    std::unordered_map<Row, size_t, RowHash, RowEq> index;
+    for (Row& r : input) {
+      Row key = ExtractKey(r, grouping_columns_);
+      auto [it, inserted] = index.try_emplace(key, groups_.size());
+      if (inserted) {
+        group_keys_.push_back(std::move(key));
+        groups_.emplace_back();
+      }
+      groups_[it->second].push_back(std::move(r));
+    }
+  }
+  return Status::OK();
+}
+
+Status GApplyOp::OpenGroup(ExecContext* ctx) {
+  ctx->BindGroup(var_name_, &outer_->output_schema(),
+                 &groups_[current_group_]);
+  Status st = pgq_->Open(ctx);
+  if (!st.ok()) {
+    (void)ctx->UnbindGroup(var_name_);
+    return st;
+  }
+  group_open_ = true;
+  ctx->counters().pgq_executions++;
+  return Status::OK();
+}
+
+Status GApplyOp::CloseGroup(ExecContext* ctx) {
+  RETURN_NOT_OK(pgq_->Close(ctx));
+  RETURN_NOT_OK(ctx->UnbindGroup(var_name_));
+  group_open_ = false;
+  return Status::OK();
+}
+
+Status GApplyOp::Open(ExecContext* ctx) {
+  current_group_ = 0;
+  group_open_ = false;
+  return Partition(ctx);
+}
+
+Result<bool> GApplyOp::Next(ExecContext* ctx, Row* out) {
+  while (current_group_ < groups_.size()) {
+    if (!group_open_) RETURN_NOT_OK(OpenGroup(ctx));
+    Row pgq_row;
+    auto next = pgq_->Next(ctx, &pgq_row);
+    if (!next.ok()) {
+      (void)CloseGroup(ctx);
+      return next.status();
+    }
+    if (*next) {
+      const Row& key = group_keys_[current_group_];
+      out->clear();
+      out->reserve(key.size() + pgq_row.size());
+      out->insert(out->end(), key.begin(), key.end());
+      out->insert(out->end(), pgq_row.begin(), pgq_row.end());
+      return true;
+    }
+    RETURN_NOT_OK(CloseGroup(ctx));
+    ++current_group_;
+  }
+  return false;
+}
+
+Status GApplyOp::Close(ExecContext* ctx) {
+  if (group_open_) RETURN_NOT_OK(CloseGroup(ctx));
+  group_keys_.clear();
+  groups_.clear();
+  return Status::OK();
+}
+
+std::string GApplyOp::DebugName() const {
+  std::string cols;
+  for (size_t i = 0; i < grouping_columns_.size(); ++i) {
+    if (i > 0) cols += ",";
+    cols += outer_->output_schema()
+                .column(static_cast<size_t>(grouping_columns_[i]))
+                .name;
+  }
+  return "GApply(gcols=[" + cols + "], var=$" + var_name_ + ", partition=" +
+         PartitionModeName(mode_) + ")";
+}
+
+}  // namespace gapply

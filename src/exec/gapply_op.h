@@ -1,0 +1,66 @@
+#ifndef GAPPLY_EXEC_GAPPLY_OP_H_
+#define GAPPLY_EXEC_GAPPLY_OP_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/physical_op.h"
+
+namespace gapply {
+
+/// Partitioning strategy for GApply's first phase (paper §3: "implemented
+/// either through sorting or through hashing").
+enum class PartitionMode { kSort, kHash };
+
+const char* PartitionModeName(PartitionMode mode);
+
+/// \brief The paper's core contribution: GApply(GCols, PGQ).
+///
+/// Phase 1 (Partition): the outer input is partitioned on the grouping
+/// columns — by sorting (output then comes out clustered by group, in
+/// grouping-column order) or by hashing (first-appearance group order).
+///
+/// Phase 2 (Execute): for each group, the group's rows are bound to the
+/// relation-valued variable `var_name`, the per-group query subplan `pgq`
+/// (whose GroupScan leaves read that binding) is re-opened and drained, and
+/// each per-group output row is emitted prefixed by the grouping-column
+/// values — implementing
+///   ⋃_{c ∈ distinct(π_C(outer))} ({c} × PGQ(σ_{C=c}(outer))).
+///
+/// Output schema: grouping columns (as named in the outer schema) followed
+/// by the PGQ output schema.
+class GApplyOp : public PhysOp {
+ public:
+  GApplyOp(PhysOpPtr outer, std::vector<int> grouping_columns,
+           std::string var_name, PhysOpPtr pgq,
+           PartitionMode mode = PartitionMode::kHash);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override {
+    return {outer_.get(), pgq_.get()};
+  }
+
+ private:
+  Status Partition(ExecContext* ctx);
+  Status OpenGroup(ExecContext* ctx);
+  Status CloseGroup(ExecContext* ctx);
+
+  PhysOpPtr outer_;
+  std::vector<int> grouping_columns_;
+  std::string var_name_;
+  PhysOpPtr pgq_;
+  PartitionMode mode_;
+
+  // Materialized partitions: parallel vectors of key and member rows.
+  std::vector<Row> group_keys_;
+  std::vector<std::vector<Row>> groups_;
+  size_t current_group_ = 0;
+  bool group_open_ = false;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_GAPPLY_OP_H_

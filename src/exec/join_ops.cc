@@ -1,0 +1,172 @@
+#include "src/exec/join_ops.h"
+
+namespace gapply {
+
+namespace {
+
+// Concatenates left ++ right into out.
+void ConcatRows(const Row& left, const Row& right, Row* out) {
+  out->clear();
+  out->reserve(left.size() + right.size());
+  out->insert(out->end(), left.begin(), left.end());
+  out->insert(out->end(), right.begin(), right.end());
+}
+
+// Extracts the key columns from a row; returns false if any key is NULL
+// (SQL equi-join: NULL never matches).
+bool ExtractKey(const Row& row, const std::vector<int>& cols, Row* key) {
+  key->clear();
+  key->reserve(cols.size());
+  for (int c : cols) {
+    const Value& v = row[static_cast<size_t>(c)];
+    if (v.is_null()) return false;
+    key->push_back(v);
+  }
+  return true;
+}
+
+std::string KeyList(const Schema& schema, const std::vector<int>& cols) {
+  std::string out = "[";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.column(static_cast<size_t>(cols[i])).name;
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+HashJoinOp::HashJoinOp(PhysOpPtr left, PhysOpPtr right,
+                       std::vector<int> left_keys, std::vector<int> right_keys,
+                       ExprPtr residual)
+    : PhysOp(Schema::Concat(left->output_schema(), right->output_schema())),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)) {}
+
+Status HashJoinOp::Open(ExecContext* ctx) {
+  table_.clear();
+  build_rows_.clear();
+  have_left_ = false;
+
+  // Build phase over the right child.
+  RETURN_NOT_OK(right_->Open(ctx));
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    if (!has) break;
+    build_rows_.push_back(std::move(row));
+  }
+  RETURN_NOT_OK(right_->Close(ctx));
+  // Stable addresses now that build_rows_ stopped growing? vector may have
+  // reallocated during the loop, so index after the fact.
+  table_.reserve(build_rows_.size());
+  Row key;
+  for (const Row& build_row : build_rows_) {
+    if (!ExtractKey(build_row, right_keys_, &key)) continue;
+    table_.emplace(key, &build_row);
+  }
+  return left_->Open(ctx);
+}
+
+Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* out) {
+  Row key;
+  while (true) {
+    if (!have_left_) {
+      ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
+      if (!has) return false;
+      if (!ExtractKey(current_left_, left_keys_, &key)) continue;
+      matches_ = table_.equal_range(key);
+      if (matches_.first == matches_.second) continue;
+      have_left_ = true;
+    }
+    while (matches_.first != matches_.second) {
+      const Row* right_row = matches_.first->second;
+      ++matches_.first;
+      ConcatRows(current_left_, *right_row, out);
+      if (residual_ != nullptr) {
+        ASSIGN_OR_RETURN(bool pass,
+                         EvalPredicate(*residual_, *out, *ctx->eval()));
+        if (!pass) continue;
+      }
+      if (matches_.first == matches_.second) have_left_ = false;
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+Status HashJoinOp::Close(ExecContext* ctx) {
+  table_.clear();
+  build_rows_.clear();
+  return left_->Close(ctx);
+}
+
+std::string HashJoinOp::DebugName() const {
+  std::string out = "HashJoin(l=" +
+                    KeyList(left_->output_schema(), left_keys_) +
+                    ", r=" + KeyList(right_->output_schema(), right_keys_);
+  if (residual_ != nullptr) out += ", residual=" + residual_->ToString();
+  out += ")";
+  return out;
+}
+
+NestedLoopJoinOp::NestedLoopJoinOp(PhysOpPtr left, PhysOpPtr right,
+                                   ExprPtr predicate)
+    : PhysOp(Schema::Concat(left->output_schema(), right->output_schema())),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      predicate_(std::move(predicate)) {}
+
+Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+  right_rows_.clear();
+  have_left_ = false;
+  right_pos_ = 0;
+  RETURN_NOT_OK(right_->Open(ctx));
+  Row row;
+  while (true) {
+    ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    if (!has) break;
+    right_rows_.push_back(std::move(row));
+  }
+  RETURN_NOT_OK(right_->Close(ctx));
+  return left_->Open(ctx);
+}
+
+Result<bool> NestedLoopJoinOp::Next(ExecContext* ctx, Row* out) {
+  while (true) {
+    if (!have_left_) {
+      ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
+      if (!has) return false;
+      have_left_ = true;
+      right_pos_ = 0;
+    }
+    while (right_pos_ < right_rows_.size()) {
+      ConcatRows(current_left_, right_rows_[right_pos_++], out);
+      if (predicate_ != nullptr) {
+        ASSIGN_OR_RETURN(bool pass,
+                         EvalPredicate(*predicate_, *out, *ctx->eval()));
+        if (!pass) continue;
+      }
+      return true;
+    }
+    have_left_ = false;
+  }
+}
+
+Status NestedLoopJoinOp::Close(ExecContext* ctx) {
+  right_rows_.clear();
+  return left_->Close(ctx);
+}
+
+std::string NestedLoopJoinOp::DebugName() const {
+  return "NestedLoopJoin(" +
+         (predicate_ == nullptr ? std::string("true")
+                                : predicate_->ToString()) +
+         ")";
+}
+
+}  // namespace gapply

@@ -1,0 +1,75 @@
+#ifndef GAPPLY_EXEC_JOIN_OPS_H_
+#define GAPPLY_EXEC_JOIN_OPS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/exec/physical_op.h"
+#include "src/expr/expr.h"
+
+namespace gapply {
+
+/// \brief Inner hash equi-join. Builds on the right child, probes with the
+/// left — matching the paper's left-deep trees where the right child of
+/// every internal node is a base-table leaf.
+///
+/// `left_keys[i]` must equal `right_keys[i]` for a match (grouping equality,
+/// so NULL keys never match — enforced separately). An optional residual
+/// predicate over the concatenated row filters matches further.
+class HashJoinOp : public PhysOp {
+ public:
+  HashJoinOp(PhysOpPtr left, PhysOpPtr right, std::vector<int> left_keys,
+             std::vector<int> right_keys, ExprPtr residual = nullptr);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  ExprPtr residual_;
+
+  std::unordered_multimap<Row, const Row*, RowHash, RowEq> table_;
+  std::vector<Row> build_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  std::pair<decltype(table_)::const_iterator, decltype(table_)::const_iterator>
+      matches_;
+};
+
+/// Inner nested-loops join with an arbitrary predicate (used when no
+/// equi-key is extractable). Materializes the right side.
+class NestedLoopJoinOp : public PhysOp {
+ public:
+  NestedLoopJoinOp(PhysOpPtr left, PhysOpPtr right, ExprPtr predicate);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+  std::vector<const PhysOp*> children() const override {
+    return {left_.get(), right_.get()};
+  }
+
+ private:
+  PhysOpPtr left_;
+  PhysOpPtr right_;
+  ExprPtr predicate_;  // may be nullptr (cross product)
+
+  std::vector<Row> right_rows_;
+  Row current_left_;
+  bool have_left_ = false;
+  size_t right_pos_ = 0;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_JOIN_OPS_H_

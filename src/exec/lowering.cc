@@ -1,0 +1,142 @@
+#include "src/exec/lowering.h"
+
+#include <utility>
+#include <vector>
+
+#include "src/exec/agg_ops.h"
+#include "src/exec/apply_ops.h"
+#include "src/exec/filter_project_ops.h"
+#include "src/exec/gapply_op.h"
+#include "src/exec/join_ops.h"
+#include "src/exec/scan_ops.h"
+#include "src/plan/plan_utils.h"
+
+namespace gapply {
+
+namespace {
+
+std::vector<AggregateDesc> CloneAggs(const std::vector<AggregateDesc>& aggs) {
+  std::vector<AggregateDesc> out;
+  out.reserve(aggs.size());
+  for (const AggregateDesc& a : aggs) out.push_back(a.Clone());
+  return out;
+}
+
+Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
+  switch (node.type()) {
+    case LogicalOpType::kScan: {
+      const auto& scan = static_cast<const LogicalScan&>(node);
+      return PhysOpPtr(
+          std::make_unique<TableScanOp>(scan.table(), scan.alias()));
+    }
+    case LogicalOpType::kGroupScan: {
+      const auto& scan = static_cast<const LogicalGroupScan&>(node);
+      return PhysOpPtr(
+          std::make_unique<GroupScanOp>(scan.var(), scan.output_schema()));
+    }
+    case LogicalOpType::kSelect: {
+      const auto& sel = static_cast<const LogicalSelect&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*sel.child(0), opts));
+      return PhysOpPtr(std::make_unique<FilterOp>(std::move(child),
+                                                  sel.predicate().Clone()));
+    }
+    case LogicalOpType::kProject: {
+      const auto& proj = static_cast<const LogicalProject&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*proj.child(0), opts));
+      std::vector<ExprPtr> exprs;
+      exprs.reserve(proj.exprs().size());
+      for (const ExprPtr& e : proj.exprs()) exprs.push_back(e->Clone());
+      return ProjectOp::Make(std::move(child), std::move(exprs),
+                             proj.names());
+    }
+    case LogicalOpType::kJoin: {
+      const auto& join = static_cast<const LogicalJoin&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr left, Lower(*join.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr right, Lower(*join.child(1), opts));
+      ExprPtr residual = join.residual() == nullptr
+                             ? nullptr
+                             : join.residual()->Clone();
+      if (join.left_keys().empty()) {
+        return PhysOpPtr(std::make_unique<NestedLoopJoinOp>(
+            std::move(left), std::move(right), std::move(residual)));
+      }
+      return PhysOpPtr(std::make_unique<HashJoinOp>(
+          std::move(left), std::move(right), join.left_keys(),
+          join.right_keys(), std::move(residual)));
+    }
+    case LogicalOpType::kGroupBy: {
+      const auto& gb = static_cast<const LogicalGroupBy&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*gb.child(0), opts));
+      if (opts.stream_group_by) {
+        std::vector<SortKey> keys;
+        keys.reserve(gb.keys().size());
+        for (int k : gb.keys()) keys.push_back({k, true});
+        auto sorted =
+            std::make_unique<SortOp>(std::move(child), std::move(keys));
+        return PhysOpPtr(std::make_unique<StreamGroupByOp>(
+            std::move(sorted), gb.keys(), CloneAggs(gb.aggs())));
+      }
+      return PhysOpPtr(std::make_unique<HashGroupByOp>(
+          std::move(child), gb.keys(), CloneAggs(gb.aggs())));
+    }
+    case LogicalOpType::kScalarAgg: {
+      const auto& agg = static_cast<const LogicalScalarAgg&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*agg.child(0), opts));
+      return PhysOpPtr(std::make_unique<ScalarAggOp>(std::move(child),
+                                                     CloneAggs(agg.aggs())));
+    }
+    case LogicalOpType::kDistinct: {
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*node.child(0), opts));
+      return PhysOpPtr(std::make_unique<DistinctOp>(std::move(child)));
+    }
+    case LogicalOpType::kUnionAll: {
+      std::vector<PhysOpPtr> branches;
+      branches.reserve(node.num_children());
+      for (size_t i = 0; i < node.num_children(); ++i) {
+        ASSIGN_OR_RETURN(PhysOpPtr branch, Lower(*node.child(i), opts));
+        branches.push_back(std::move(branch));
+      }
+      return UnionAllOp::Make(std::move(branches));
+    }
+    case LogicalOpType::kApply: {
+      const auto& apply = static_cast<const LogicalApply&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr outer, Lower(*apply.outer(), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr inner, Lower(*apply.inner(), opts));
+      const bool cache = !ApplyInnerIsCorrelated(*apply.inner());
+      return PhysOpPtr(std::make_unique<ApplyOp>(std::move(outer),
+                                                 std::move(inner), cache));
+    }
+    case LogicalOpType::kExists: {
+      const auto& exists = static_cast<const LogicalExists&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*exists.child(0), opts));
+      return PhysOpPtr(
+          std::make_unique<ExistsOp>(std::move(child), exists.negated()));
+    }
+    case LogicalOpType::kOrderBy: {
+      const auto& order = static_cast<const LogicalOrderBy&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*order.child(0), opts));
+      return PhysOpPtr(
+          std::make_unique<SortOp>(std::move(child), order.keys()));
+    }
+    case LogicalOpType::kGApply: {
+      const auto& ga = static_cast<const LogicalGApply&>(node);
+      ASSIGN_OR_RETURN(PhysOpPtr outer, Lower(*ga.outer(), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr pgq, Lower(*ga.pgq(), opts));
+      const PartitionMode mode =
+          opts.force_partition_mode.value_or(ga.mode());
+      return PhysOpPtr(std::make_unique<GApplyOp>(
+          std::move(outer), ga.grouping_columns(), ga.var(), std::move(pgq),
+          mode));
+    }
+  }
+  return Status::Internal("unknown logical operator in lowering");
+}
+
+}  // namespace
+
+Result<PhysOpPtr> LowerPlan(const LogicalOp& plan,
+                            const LoweringOptions& options) {
+  return Lower(plan, options);
+}
+
+}  // namespace gapply

@@ -1,0 +1,29 @@
+#ifndef GAPPLY_EXEC_LOWERING_H_
+#define GAPPLY_EXEC_LOWERING_H_
+
+#include <optional>
+
+#include "src/exec/physical_op.h"
+#include "src/plan/logical_plan.h"
+
+namespace gapply {
+
+/// Knobs for logical→physical translation.
+struct LoweringOptions {
+  /// Overrides the partition mode of every GApply (benches use this to
+  /// compare sort- vs hash-partitioning on identical plans).
+  std::optional<PartitionMode> force_partition_mode;
+
+  /// Lower GroupBy as Sort + StreamGroupBy instead of HashGroupBy.
+  bool stream_group_by = false;
+};
+
+/// Translates a logical plan into an executable physical plan. The logical
+/// plan retains ownership of its expressions (they are cloned), so it can be
+/// lowered repeatedly.
+Result<PhysOpPtr> LowerPlan(const LogicalOp& plan,
+                            const LoweringOptions& options = {});
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_LOWERING_H_

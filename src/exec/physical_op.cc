@@ -1,0 +1,70 @@
+#include "src/exec/physical_op.h"
+
+#include <unordered_map>
+
+#include "src/common/string_util.h"
+
+namespace gapply {
+
+std::string PhysOp::DebugString(int indent) const {
+  std::string out = Repeat("  ", indent) + DebugName() + "\n";
+  for (const PhysOp* child : children()) {
+    out += child->DebugString(indent + 1);
+  }
+  return out;
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  std::string out;
+  for (size_t i = 0; i < schema.num_columns(); ++i) {
+    if (i > 0) out += " | ";
+    out += schema.column(i).name;
+  }
+  out += "\n";
+  size_t shown = 0;
+  for (const Row& row : rows) {
+    if (shown++ >= max_rows) {
+      out += "... (" + std::to_string(rows.size() - max_rows) + " more)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += " | ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<QueryResult> ExecuteToVector(PhysOp* root, ExecContext* ctx) {
+  QueryResult result;
+  result.schema = root->output_schema();
+  RETURN_NOT_OK(root->Open(ctx));
+  Row row;
+  while (true) {
+    auto next = root->Next(ctx, &row);
+    if (!next.ok()) {
+      // Best effort close; surface the execution error.
+      (void)root->Close(ctx);
+      return next.status();
+    }
+    if (!*next) break;
+    result.rows.push_back(row);
+  }
+  RETURN_NOT_OK(root->Close(ctx));
+  return result;
+}
+
+bool SameRowMultiset(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  std::unordered_map<Row, int, RowHash, RowEq> counts;
+  for (const Row& row : a) counts[row]++;
+  for (const Row& row : b) {
+    auto it = counts.find(row);
+    if (it == counts.end() || it->second == 0) return false;
+    --it->second;
+  }
+  return true;
+}
+
+}  // namespace gapply

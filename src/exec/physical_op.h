@@ -1,0 +1,71 @@
+#ifndef GAPPLY_EXEC_PHYSICAL_OP_H_
+#define GAPPLY_EXEC_PHYSICAL_OP_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/exec/exec_context.h"
+#include "src/storage/schema.h"
+
+namespace gapply {
+
+/// \brief Base class for Volcano-style physical operators.
+///
+/// Contract:
+///  - `Open` prepares the operator; it must be callable again after `Close`
+///    (Apply and GApply re-open their inner subplans once per outer row /
+///    per group).
+///  - `Next` returns true and fills `*out` when a row is produced, false at
+///    end of stream.
+///  - `Close` releases per-execution state.
+class PhysOp {
+ public:
+  explicit PhysOp(Schema schema) : schema_(std::move(schema)) {}
+  virtual ~PhysOp() = default;
+
+  PhysOp(const PhysOp&) = delete;
+  PhysOp& operator=(const PhysOp&) = delete;
+
+  virtual Status Open(ExecContext* ctx) = 0;
+  virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
+  virtual Status Close(ExecContext* ctx) = 0;
+
+  const Schema& output_schema() const { return schema_; }
+
+  /// Operator name plus salient arguments, e.g. "HashJoin(l=[0], r=[1])".
+  virtual std::string DebugName() const = 0;
+
+  /// Child operators for plan printing (non-owning).
+  virtual std::vector<const PhysOp*> children() const { return {}; }
+
+  /// Indented multi-line plan rendering.
+  std::string DebugString(int indent = 0) const;
+
+ protected:
+  Schema schema_;
+};
+
+using PhysOpPtr = std::unique_ptr<PhysOp>;
+
+/// \brief Materialized result of executing a plan to completion.
+struct QueryResult {
+  Schema schema;
+  std::vector<Row> rows;
+
+  /// Tabular rendering (header + up to max_rows rows).
+  std::string ToString(size_t max_rows = 50) const;
+};
+
+/// Runs root->Open/Next*/Close and materializes all output rows.
+Result<QueryResult> ExecuteToVector(PhysOp* root, ExecContext* ctx);
+
+/// True iff the two row collections are equal as multisets (grouping
+/// equality per value). Used pervasively by tests: the engine promises
+/// multiset semantics, never order, unless an OrderBy/Sort is at the root.
+bool SameRowMultiset(const std::vector<Row>& a, const std::vector<Row>& b);
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_PHYSICAL_OP_H_

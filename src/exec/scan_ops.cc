@@ -1,0 +1,86 @@
+#include "src/exec/scan_ops.h"
+
+namespace gapply {
+
+TableScanOp::TableScanOp(const Table* table, std::string alias)
+    : PhysOp(alias.empty() ? table->schema()
+                           : table->schema().WithQualifier(alias)),
+      table_(table),
+      alias_(std::move(alias)) {}
+
+Status TableScanOp::Open(ExecContext*) {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(ExecContext* ctx, Row* out) {
+  if (pos_ >= table_->num_rows()) return false;
+  *out = table_->rows()[pos_++];
+  ctx->counters().rows_scanned++;
+  return true;
+}
+
+Status TableScanOp::Close(ExecContext*) { return Status::OK(); }
+
+std::string TableScanOp::DebugName() const {
+  std::string out = "TableScan(" + table_->name();
+  if (!alias_.empty() && alias_ != table_->name()) out += " as " + alias_;
+  out += ")";
+  return out;
+}
+
+GroupScanOp::GroupScanOp(std::string var_name, Schema schema)
+    : PhysOp(std::move(schema)), var_name_(std::move(var_name)) {}
+
+Status GroupScanOp::Open(ExecContext* ctx) {
+  ASSIGN_OR_RETURN(auto binding, ctx->GetGroup(var_name_));
+  const Schema* bound_schema = binding.first;
+  if (bound_schema->num_columns() != schema_.num_columns()) {
+    return Status::Internal(
+        "group variable " + var_name_ + " bound with arity " +
+        std::to_string(bound_schema->num_columns()) + ", plan expects " +
+        std::to_string(schema_.num_columns()));
+  }
+  rows_ = binding.second;
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> GroupScanOp::Next(ExecContext* ctx, Row* out) {
+  if (rows_ == nullptr) return Status::Internal("GroupScan not opened");
+  if (pos_ >= rows_->size()) return false;
+  *out = (*rows_)[pos_++];
+  ctx->counters().group_rows_scanned++;
+  return true;
+}
+
+Status GroupScanOp::Close(ExecContext*) {
+  rows_ = nullptr;
+  return Status::OK();
+}
+
+std::string GroupScanOp::DebugName() const {
+  return "GroupScan($" + var_name_ + ")";
+}
+
+ValuesOp::ValuesOp(Schema schema, std::vector<Row> rows)
+    : PhysOp(std::move(schema)), rows_(std::move(rows)) {}
+
+Status ValuesOp::Open(ExecContext*) {
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> ValuesOp::Next(ExecContext*, Row* out) {
+  if (pos_ >= rows_.size()) return false;
+  *out = rows_[pos_++];
+  return true;
+}
+
+Status ValuesOp::Close(ExecContext*) { return Status::OK(); }
+
+std::string ValuesOp::DebugName() const {
+  return "Values(" + std::to_string(rows_.size()) + " rows)";
+}
+
+}  // namespace gapply

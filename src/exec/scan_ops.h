@@ -1,0 +1,67 @@
+#ifndef GAPPLY_EXEC_SCAN_OPS_H_
+#define GAPPLY_EXEC_SCAN_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/exec/physical_op.h"
+#include "src/storage/table.h"
+
+namespace gapply {
+
+/// Full scan over a base table. The table must outlive the operator.
+class TableScanOp : public PhysOp {
+ public:
+  explicit TableScanOp(const Table* table, std::string alias = "");
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+
+ private:
+  const Table* table_;
+  std::string alias_;
+  size_t pos_ = 0;
+};
+
+/// \brief Scan over the relation-valued variable bound by an enclosing
+/// GApply — the paper's "leaf scan operator [that] receives the
+/// relation-valued parameter ... and reads from it" (§3).
+class GroupScanOp : public PhysOp {
+ public:
+  /// `schema` is the group's schema as known at plan time (GApply's outer
+  /// schema, possibly pruned by the projection rule).
+  GroupScanOp(std::string var_name, Schema schema);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+
+  const std::string& var_name() const { return var_name_; }
+
+ private:
+  std::string var_name_;
+  const std::vector<Row>* rows_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// In-memory literal relation (tests and VALUES-style plans).
+class ValuesOp : public PhysOp {
+ public:
+  ValuesOp(Schema schema, std::vector<Row> rows);
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Status Close(ExecContext* ctx) override;
+  std::string DebugName() const override;
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_EXEC_SCAN_OPS_H_

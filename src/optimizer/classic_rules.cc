@@ -1,0 +1,107 @@
+#include "src/optimizer/classic_rules.h"
+
+#include <set>
+
+#include "src/core/analyses.h"
+
+namespace gapply {
+
+Result<bool> MergeSelectsRule::Apply(LogicalOpPtr* node, OptimizerContext*) {
+  if ((*node)->type() != LogicalOpType::kSelect) return false;
+  auto* outer = static_cast<LogicalSelect*>(node->get());
+  if (outer->child(0)->type() != LogicalOpType::kSelect) return false;
+  auto* inner = static_cast<LogicalSelect*>(outer->child(0));
+
+  ExprPtr combined =
+      And(inner->predicate().Clone(), outer->predicate().Clone());
+  LogicalOpPtr inner_owned = outer->TakeChild(0);
+  LogicalOpPtr grandchild =
+      static_cast<LogicalSelect*>(inner_owned.get())->TakeChild(0);
+  *node = std::make_unique<LogicalSelect>(std::move(grandchild),
+                                          std::move(combined));
+  return true;
+}
+
+Result<bool> PushSelectBelowJoinRule::Apply(LogicalOpPtr* node,
+                                            OptimizerContext*) {
+  if ((*node)->type() != LogicalOpType::kSelect) return false;
+  auto* select = static_cast<LogicalSelect*>(node->get());
+  if (select->child(0)->type() != LogicalOpType::kJoin) return false;
+  auto* join = static_cast<LogicalJoin*>(select->child(0));
+
+  const int left_width =
+      static_cast<int>(join->child(0)->output_schema().num_columns());
+  const int total_width =
+      static_cast<int>(join->output_schema().num_columns());
+
+  std::set<int> used;
+  select->predicate().CollectColumns(&used);
+  if (used.empty()) return false;
+
+  bool all_left = true;
+  bool all_right = true;
+  for (int c : used) {
+    if (c >= left_width) all_left = false;
+    if (c < left_width) all_right = false;
+  }
+  if (!all_left && !all_right) return false;
+
+  ExprPtr pred;
+  if (all_left) {
+    pred = select->predicate().Clone();
+  } else {
+    std::vector<int> shift(static_cast<size_t>(total_width), -1);
+    for (int c = left_width; c < total_width; ++c) {
+      shift[static_cast<size_t>(c)] = c - left_width;
+    }
+    ASSIGN_OR_RETURN(pred,
+                     core::RemapExprTree(select->predicate(), shift, {}));
+  }
+
+  LogicalOpPtr join_owned = select->TakeChild(0);
+  auto* j = static_cast<LogicalJoin*>(join_owned.get());
+  LogicalOpPtr left = j->TakeChild(0);
+  LogicalOpPtr right = j->TakeChild(1);
+  if (all_left) {
+    left = std::make_unique<LogicalSelect>(std::move(left), std::move(pred));
+  } else {
+    right = std::make_unique<LogicalSelect>(std::move(right),
+                                            std::move(pred));
+  }
+  *node = std::make_unique<LogicalJoin>(
+      std::move(left), std::move(right), j->left_keys(), j->right_keys(),
+      j->residual() == nullptr ? nullptr : j->residual()->Clone());
+  return true;
+}
+
+Result<bool> PushSelectBelowProjectRule::Apply(LogicalOpPtr* node,
+                                               OptimizerContext*) {
+  if ((*node)->type() != LogicalOpType::kSelect) return false;
+  auto* select = static_cast<LogicalSelect*>(node->get());
+  if (select->child(0)->type() != LogicalOpType::kProject) return false;
+  auto* project = static_cast<LogicalProject*>(select->child(0));
+
+  // Map projection outputs back to input columns where they are pure refs.
+  std::vector<int> back(project->exprs().size(), -1);
+  for (size_t i = 0; i < project->exprs().size(); ++i) {
+    const Expr& e = *project->exprs()[i];
+    if (e.kind() == ExprKind::kColumnRef) {
+      back[i] = static_cast<const ColumnRefExpr&>(e).index();
+    }
+  }
+  Result<ExprPtr> pushed =
+      core::RemapExprTree(select->predicate(), back, {});
+  if (!pushed.ok()) return false;  // predicate touches a computed column
+
+  LogicalOpPtr project_owned = select->TakeChild(0);
+  auto* p = static_cast<LogicalProject*>(project_owned.get());
+  LogicalOpPtr filtered = std::make_unique<LogicalSelect>(
+      p->TakeChild(0), std::move(*pushed));
+  std::vector<ExprPtr> exprs;
+  for (const ExprPtr& e : p->exprs()) exprs.push_back(e->Clone());
+  *node = std::make_unique<LogicalProject>(std::move(filtered),
+                                           std::move(exprs), p->names());
+  return true;
+}
+
+}  // namespace gapply

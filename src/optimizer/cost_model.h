@@ -1,0 +1,59 @@
+#ifndef GAPPLY_OPTIMIZER_COST_MODEL_H_
+#define GAPPLY_OPTIMIZER_COST_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/plan/logical_plan.h"
+#include "src/stats/stats.h"
+
+namespace gapply {
+
+/// \brief Estimated properties of a (sub)plan.
+///
+/// `column_ndv[i]` is the estimated number of distinct values of output
+/// column i, and `column_stats[i]` points at the originating base-table
+/// column's statistics when column i is a pass-through of a base column
+/// (nullptr for computed columns) — that is what lets range predicates use
+/// histograms above joins and inside per-group queries.
+struct PlanEstimate {
+  double rows = 0;
+  double cost = 0;
+  std::vector<double> column_ndv;
+  std::vector<const ColumnStats*> column_stats;
+};
+
+/// \brief Cardinality and cost estimation for logical plans, §4.4-style.
+///
+/// GApply is costed with the paper's uniformity assumption:
+///   cost(GApply) = cost(outer) + partition(outer.rows)
+///                + #groups × cost(PGQ on one average group)
+/// where #groups = NDV of the grouping columns and the average group has
+/// outer.rows / #groups rows with proportionally scaled NDVs.
+class CostModel {
+ public:
+  CostModel(const Catalog* catalog, const StatsManager* stats)
+      : catalog_(catalog), stats_(stats) {}
+
+  Result<PlanEstimate> Estimate(const LogicalOp& plan) const;
+
+  /// Default selectivity for predicates the model cannot analyze.
+  static constexpr double kDefaultSelectivity = 1.0 / 3.0;
+
+ private:
+  using GroupEnv = std::map<std::string, PlanEstimate>;
+
+  Result<PlanEstimate> EstimateNode(const LogicalOp& node,
+                                    GroupEnv* env) const;
+
+  /// Selectivity of `pred` against a child with estimate `input`.
+  double Selectivity(const Expr& pred, const PlanEstimate& input) const;
+
+  const Catalog* catalog_;
+  const StatsManager* stats_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_OPTIMIZER_COST_MODEL_H_

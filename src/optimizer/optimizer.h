@@ -1,0 +1,92 @@
+#ifndef GAPPLY_OPTIMIZER_OPTIMIZER_H_
+#define GAPPLY_OPTIMIZER_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/optimizer/cost_model.h"
+#include "src/plan/logical_plan.h"
+#include "src/stats/stats.h"
+#include "src/storage/catalog.h"
+
+namespace gapply {
+
+/// Shared state handed to every rule invocation.
+struct OptimizerContext {
+  const Catalog* catalog = nullptr;
+  const StatsManager* stats = nullptr;
+  const CostModel* cost_model = nullptr;
+  /// When true, rules that can hurt (the group-selection pair, §4.2) fire
+  /// only if the cost model says the rewrite is cheaper. When false they
+  /// fire unconditionally (benches use this to measure both sides).
+  bool cost_gate = true;
+};
+
+/// \brief A transformation rule over logical plans.
+///
+/// `Apply` inspects the subtree rooted at `*node` and either rewrites it in
+/// place (returning true) or leaves it untouched (returning false). Rules
+/// must strictly make progress — the paper's termination argument (§4.4) is
+/// that every rule either pushes GApply down, eliminates it, or adds
+/// new σ/π to the outer tree, none of which another rule undoes.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  virtual const char* name() const = 0;
+  virtual Result<bool> Apply(LogicalOpPtr* node, OptimizerContext* ctx) = 0;
+};
+
+/// \brief Heuristic rewrite driver applying the paper's rule set to
+/// fixpoint (bounded by max_passes).
+class Optimizer {
+ public:
+  struct Options {
+    // §4: rules that do not traverse the per-group query.
+    bool push_select_into_pgq = true;
+    bool push_project_into_pgq = true;
+    // §4.1: pushing computation into the outer query.
+    bool projection_before_gapply = true;
+    bool selection_before_gapply = true;
+    bool gapply_to_groupby = true;
+    // §4.2: group selection.
+    bool group_selection_exists = true;
+    bool group_selection_aggregate = true;
+    // §4.3: pushing GApply below joins.
+    bool invariant_grouping = true;
+    // Classic relational rewrites (σ pushdown below joins etc.).
+    bool classic_pushdown = true;
+    // Cost-gate the two group-selection rules.
+    bool cost_gate = true;
+
+    int max_passes = 8;
+
+    /// All rules off (benches build baselines from this).
+    static Options AllDisabled();
+  };
+
+  Optimizer(const Catalog* catalog, const StatsManager* stats,
+            Options options);
+  ~Optimizer();
+
+  /// Rewrites `plan`; on success the returned plan is semantically
+  /// equivalent. The input is consumed.
+  Result<LogicalOpPtr> Optimize(LogicalOpPtr plan);
+
+  /// Names of rules fired during the last Optimize call, in firing order.
+  const std::vector<std::string>& fired_rules() const { return fired_; }
+
+ private:
+  Result<bool> ApplyAt(LogicalOpPtr* node);
+  Result<bool> Pass(LogicalOpPtr* node);
+
+  Options options_;
+  CostModel cost_model_;
+  OptimizerContext ctx_;
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<std::string> fired_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_OPTIMIZER_OPTIMIZER_H_

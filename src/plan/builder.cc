@@ -1,0 +1,221 @@
+#include "src/plan/builder.h"
+
+namespace gapply {
+
+namespace {
+
+const Schema& EmptySchema() {
+  static const Schema* schema = new Schema();
+  return *schema;
+}
+
+}  // namespace
+
+PlanBuilder PlanBuilder::Scan(const Catalog& catalog, const std::string& table,
+                              const std::string& alias) {
+  Result<Table*> t = catalog.GetTable(table);
+  if (!t.ok()) return PlanBuilder(t.status());
+  return PlanBuilder(std::make_unique<LogicalScan>(
+      *t, alias.empty() ? table : alias));
+}
+
+PlanBuilder PlanBuilder::GroupScan(const std::string& var, Schema schema) {
+  return PlanBuilder(
+      std::make_unique<LogicalGroupScan>(var, std::move(schema)));
+}
+
+PlanBuilder PlanBuilder::FromPlan(LogicalOpPtr plan) {
+  if (plan == nullptr) {
+    return PlanBuilder(Status::InvalidArgument("FromPlan: null plan"));
+  }
+  return PlanBuilder(std::move(plan));
+}
+
+const Schema& PlanBuilder::schema() const {
+  return plan_ == nullptr ? EmptySchema() : plan_->output_schema();
+}
+
+Result<std::vector<int>> PlanBuilder::ResolveAll(
+    const std::vector<std::string>& names) {
+  std::vector<int> out;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    // Accept "qualifier.name" references.
+    const size_t dot = name.find('.');
+    Result<int> idx =
+        dot == std::string::npos
+            ? schema().Resolve(name)
+            : schema().Resolve(name.substr(dot + 1), name.substr(0, dot));
+    RETURN_NOT_OK(idx.status());
+    out.push_back(*idx);
+  }
+  return out;
+}
+
+Result<std::vector<AggregateDesc>> PlanBuilder::ResolveAggs(
+    const std::vector<AggSpec>& specs) {
+  std::vector<AggregateDesc> out;
+  out.reserve(specs.size());
+  for (const AggSpec& spec : specs) {
+    if (spec.kind == AggKind::kCountStar) {
+      out.emplace_back(AggKind::kCountStar, nullptr,
+                       spec.name.empty() ? "count" : spec.name);
+      continue;
+    }
+    ASSIGN_OR_RETURN(std::vector<int> idx, ResolveAll({spec.column}));
+    out.emplace_back(spec.kind, Col(schema(), idx[0]),
+                     spec.name.empty() ? spec.column : spec.name,
+                     spec.distinct);
+  }
+  return out;
+}
+
+PlanBuilder PlanBuilder::Select(ExprPtr predicate) && {
+  if (failed()) return std::move(*this);
+  if (predicate == nullptr) {
+    return PlanBuilder(Status::InvalidArgument("Select: null predicate"));
+  }
+  plan_ = std::make_unique<LogicalSelect>(std::move(plan_),
+                                          std::move(predicate));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Select(const ExprFn& fn) && {
+  if (failed()) return std::move(*this);
+  return std::move(*this).Select(fn(schema()));
+}
+
+PlanBuilder PlanBuilder::Project(const std::vector<std::string>& columns) && {
+  if (failed()) return std::move(*this);
+  Result<std::vector<int>> idx = ResolveAll(columns);
+  if (!idx.ok()) return PlanBuilder(idx.status());
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (int i : *idx) {
+    exprs.push_back(Col(schema(), i));
+    names.push_back(schema().column(static_cast<size_t>(i)).name);
+  }
+  return std::move(*this).ProjectExprs(std::move(exprs), std::move(names));
+}
+
+PlanBuilder PlanBuilder::ProjectExprs(std::vector<ExprPtr> exprs,
+                                      std::vector<std::string> names) && {
+  if (failed()) return std::move(*this);
+  if (exprs.size() != names.size()) {
+    return PlanBuilder(
+        Status::InvalidArgument("ProjectExprs: exprs/names size mismatch"));
+  }
+  plan_ = std::make_unique<LogicalProject>(std::move(plan_), std::move(exprs),
+                                           std::move(names));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::ProjectExprs(
+    const std::function<std::vector<ExprPtr>(const Schema&)>& fn,
+    std::vector<std::string> names) && {
+  if (failed()) return std::move(*this);
+  return std::move(*this).ProjectExprs(fn(schema()), std::move(names));
+}
+
+PlanBuilder PlanBuilder::Join(PlanBuilder right,
+                              const std::vector<std::string>& left_on,
+                              const std::vector<std::string>& right_on) && {
+  if (failed()) return std::move(*this);
+  if (right.failed()) return PlanBuilder(right.status_);
+  if (left_on.size() != right_on.size()) {
+    return PlanBuilder(
+        Status::InvalidArgument("Join: key lists of different length"));
+  }
+  Result<std::vector<int>> lk = ResolveAll(left_on);
+  if (!lk.ok()) return PlanBuilder(lk.status());
+  Result<std::vector<int>> rk = right.ResolveAll(right_on);
+  if (!rk.ok()) return PlanBuilder(rk.status());
+  plan_ = std::make_unique<LogicalJoin>(std::move(plan_),
+                                        std::move(right.plan_), *lk, *rk);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::GroupBy(const std::vector<std::string>& keys,
+                                 const std::vector<AggSpec>& aggs) && {
+  if (failed()) return std::move(*this);
+  Result<std::vector<int>> k = ResolveAll(keys);
+  if (!k.ok()) return PlanBuilder(k.status());
+  Result<std::vector<AggregateDesc>> a = ResolveAggs(aggs);
+  if (!a.ok()) return PlanBuilder(a.status());
+  plan_ = std::make_unique<LogicalGroupBy>(std::move(plan_), *k,
+                                           std::move(*a));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::ScalarAgg(const std::vector<AggSpec>& aggs) && {
+  if (failed()) return std::move(*this);
+  Result<std::vector<AggregateDesc>> a = ResolveAggs(aggs);
+  if (!a.ok()) return PlanBuilder(a.status());
+  plan_ = std::make_unique<LogicalScalarAgg>(std::move(plan_), std::move(*a));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Distinct() && {
+  if (failed()) return std::move(*this);
+  plan_ = std::make_unique<LogicalDistinct>(std::move(plan_));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::OrderBy(const std::vector<std::string>& columns,
+                                 bool ascending) && {
+  if (failed()) return std::move(*this);
+  Result<std::vector<int>> idx = ResolveAll(columns);
+  if (!idx.ok()) return PlanBuilder(idx.status());
+  std::vector<SortKey> keys;
+  for (int i : *idx) keys.push_back({i, ascending});
+  plan_ = std::make_unique<LogicalOrderBy>(std::move(plan_), std::move(keys));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Apply(PlanBuilder inner) && {
+  if (failed()) return std::move(*this);
+  if (inner.failed()) return PlanBuilder(inner.status_);
+  plan_ = std::make_unique<LogicalApply>(std::move(plan_),
+                                         std::move(inner.plan_));
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::Exists(bool negated) && {
+  if (failed()) return std::move(*this);
+  plan_ = std::make_unique<LogicalExists>(std::move(plan_), negated);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::GApply(
+    const std::vector<std::string>& grouping_columns, const std::string& var,
+    PlanBuilder pgq, PartitionMode mode) && {
+  if (failed()) return std::move(*this);
+  if (pgq.failed()) return PlanBuilder(pgq.status_);
+  Result<std::vector<int>> gcols = ResolveAll(grouping_columns);
+  if (!gcols.ok()) return PlanBuilder(gcols.status());
+  plan_ = std::make_unique<LogicalGApply>(std::move(plan_), *gcols, var,
+                                          std::move(pgq.plan_), mode);
+  return std::move(*this);
+}
+
+PlanBuilder PlanBuilder::UnionAll(std::vector<PlanBuilder> branches) {
+  std::vector<LogicalOpPtr> plans;
+  plans.reserve(branches.size());
+  for (PlanBuilder& b : branches) {
+    if (b.failed()) return PlanBuilder(b.status_);
+    plans.push_back(std::move(b.plan_));
+  }
+  Result<LogicalOpPtr> u = LogicalUnionAll::Make(std::move(plans));
+  if (!u.ok()) return PlanBuilder(u.status());
+  return PlanBuilder(std::move(*u));
+}
+
+Result<LogicalOpPtr> PlanBuilder::Build() && {
+  RETURN_NOT_OK(status_);
+  if (plan_ == nullptr) {
+    return Status::Internal("PlanBuilder: empty plan");
+  }
+  return std::move(plan_);
+}
+
+}  // namespace gapply

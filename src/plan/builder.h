@@ -1,0 +1,109 @@
+#ifndef GAPPLY_PLAN_BUILDER_H_
+#define GAPPLY_PLAN_BUILDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/plan/logical_plan.h"
+#include "src/storage/catalog.h"
+
+namespace gapply {
+
+/// Aggregate specification by column *name*, resolved by the builder against
+/// the current schema (use AggregateDesc directly for expression arguments).
+struct AggSpec {
+  AggKind kind = AggKind::kCountStar;
+  std::string column;  // empty for count(*)
+  std::string name;    // output column name
+  bool distinct = false;
+};
+
+/// \brief Fluent construction of logical plans.
+///
+/// Errors (unknown columns/tables, incompatible unions) are latched: once a
+/// step fails, subsequent steps are no-ops and `Build()` returns the first
+/// error. This keeps call sites free of per-step error plumbing:
+///
+///   ASSIGN_OR_RETURN(auto plan,
+///       PlanBuilder::Scan(catalog, "part")
+///           .Select([](const Schema& s) {
+///             return Gt(Col(s, "p_retailprice"), Lit(100.0)); })
+///           .Project({"p_name"})
+///           .Build());
+class PlanBuilder {
+ public:
+  using ExprFn = std::function<ExprPtr(const Schema&)>;
+
+  /// Starts from a base-table scan.
+  static PlanBuilder Scan(const Catalog& catalog, const std::string& table,
+                          const std::string& alias = "");
+
+  /// Starts from a group-variable scan (per-group queries).
+  static PlanBuilder GroupScan(const std::string& var, Schema schema);
+
+  /// Wraps an existing plan.
+  static PlanBuilder FromPlan(LogicalOpPtr plan);
+
+  /// Current output schema (empty schema if the builder is failed).
+  const Schema& schema() const;
+
+  /// σ with an already-bound predicate.
+  PlanBuilder Select(ExprPtr predicate) &&;
+  /// σ with a predicate built against the current schema.
+  PlanBuilder Select(const ExprFn& fn) &&;
+
+  /// π keeping the named columns (in the given order).
+  PlanBuilder Project(const std::vector<std::string>& columns) &&;
+  /// π with computed expressions.
+  PlanBuilder ProjectExprs(std::vector<ExprPtr> exprs,
+                           std::vector<std::string> names) &&;
+  /// π with expressions built against the current schema.
+  PlanBuilder ProjectExprs(
+      const std::function<std::vector<ExprPtr>(const Schema&)>& fn,
+      std::vector<std::string> names) &&;
+
+  /// Inner equi-join on name-resolved key columns.
+  PlanBuilder Join(PlanBuilder right, const std::vector<std::string>& left_on,
+                   const std::vector<std::string>& right_on) &&;
+
+  PlanBuilder GroupBy(const std::vector<std::string>& keys,
+                      const std::vector<AggSpec>& aggs) &&;
+  PlanBuilder ScalarAgg(const std::vector<AggSpec>& aggs) &&;
+  PlanBuilder Distinct() &&;
+  PlanBuilder OrderBy(const std::vector<std::string>& columns,
+                      bool ascending = true) &&;
+
+  /// Apply with this plan as the outer input.
+  PlanBuilder Apply(PlanBuilder inner) &&;
+  /// Wraps this plan in Exists (for use as an Apply inner).
+  PlanBuilder Exists(bool negated = false) &&;
+
+  /// GApply with this plan as the outer query. `pgq` must scan `var` via
+  /// PlanBuilder::GroupScan(var, this->schema()).
+  PlanBuilder GApply(const std::vector<std::string>& grouping_columns,
+                     const std::string& var, PlanBuilder pgq,
+                     PartitionMode mode = PartitionMode::kHash) &&;
+
+  static PlanBuilder UnionAll(std::vector<PlanBuilder> branches);
+
+  /// Finishes construction, returning the plan or the first latched error.
+  Result<LogicalOpPtr> Build() &&;
+
+ private:
+  PlanBuilder() = default;
+  explicit PlanBuilder(Status error) : status_(std::move(error)) {}
+  explicit PlanBuilder(LogicalOpPtr plan) : plan_(std::move(plan)) {}
+
+  bool failed() const { return !status_.ok(); }
+  Result<std::vector<int>> ResolveAll(const std::vector<std::string>& names);
+  Result<std::vector<AggregateDesc>> ResolveAggs(
+      const std::vector<AggSpec>& specs);
+
+  Status status_;
+  LogicalOpPtr plan_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_PLAN_BUILDER_H_

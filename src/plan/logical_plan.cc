@@ -1,0 +1,409 @@
+#include "src/plan/logical_plan.h"
+
+#include "src/common/string_util.h"
+#include "src/exec/apply_ops.h"  // UnifySchemas
+
+namespace gapply {
+
+namespace {
+
+std::string ColumnList(const Schema& schema, const std::vector<int>& cols) {
+  std::string out = "[";
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (i > 0) out += ",";
+    out += schema.column(static_cast<size_t>(cols[i])).name;
+  }
+  out += "]";
+  return out;
+}
+
+std::string AggList(const std::vector<AggregateDesc>& aggs) {
+  std::string out;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggs[i].ToString();
+  }
+  return out;
+}
+
+std::vector<AggregateDesc> CloneAggs(const std::vector<AggregateDesc>& aggs) {
+  std::vector<AggregateDesc> out;
+  out.reserve(aggs.size());
+  for (const AggregateDesc& a : aggs) out.push_back(a.Clone());
+  return out;
+}
+
+Schema GroupByOutputSchema(const Schema& input, const std::vector<int>& keys,
+                           const std::vector<AggregateDesc>& aggs) {
+  Schema out;
+  for (int k : keys) out.AddColumn(input.column(static_cast<size_t>(k)));
+  for (const AggregateDesc& a : aggs) {
+    out.AddColumn(Column(a.output_name, a.OutputType(), ""));
+  }
+  return out;
+}
+
+Schema GApplyOutputSchema(const Schema& outer, const std::vector<int>& gcols,
+                          const Schema& pgq) {
+  Schema out;
+  for (int c : gcols) out.AddColumn(outer.column(static_cast<size_t>(c)));
+  return Schema::Concat(out, pgq);
+}
+
+}  // namespace
+
+const char* LogicalOpTypeName(LogicalOpType type) {
+  switch (type) {
+    case LogicalOpType::kScan:
+      return "Scan";
+    case LogicalOpType::kGroupScan:
+      return "GroupScan";
+    case LogicalOpType::kSelect:
+      return "Select";
+    case LogicalOpType::kProject:
+      return "Project";
+    case LogicalOpType::kJoin:
+      return "Join";
+    case LogicalOpType::kGroupBy:
+      return "GroupBy";
+    case LogicalOpType::kScalarAgg:
+      return "ScalarAgg";
+    case LogicalOpType::kDistinct:
+      return "Distinct";
+    case LogicalOpType::kUnionAll:
+      return "UnionAll";
+    case LogicalOpType::kApply:
+      return "Apply";
+    case LogicalOpType::kExists:
+      return "Exists";
+    case LogicalOpType::kOrderBy:
+      return "OrderBy";
+    case LogicalOpType::kGApply:
+      return "GApply";
+  }
+  return "?";
+}
+
+std::string LogicalOp::DebugString(int indent) const {
+  std::string out = Repeat("  ", indent) + DebugName() + "\n";
+  if (type_ == LogicalOpType::kGApply) {
+    const auto* ga = static_cast<const LogicalGApply*>(this);
+    out += Repeat("  ", indent + 1) + "[outer]\n";
+    out += ga->outer()->DebugString(indent + 2);
+    out += Repeat("  ", indent + 1) + "[per-group query]\n";
+    out += ga->pgq()->DebugString(indent + 2);
+    return out;
+  }
+  for (const LogicalOpPtr& c : children_) {
+    out += c->DebugString(indent + 1);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogicalScan
+// ---------------------------------------------------------------------------
+
+LogicalScan::LogicalScan(const Table* table, std::string alias)
+    : LogicalOp(LogicalOpType::kScan,
+                alias.empty() ? table->schema()
+                              : table->schema().WithQualifier(alias)),
+      table_(table),
+      alias_(std::move(alias)) {}
+
+LogicalOpPtr LogicalScan::Clone() const {
+  return std::make_unique<LogicalScan>(table_, alias_);
+}
+
+std::string LogicalScan::DebugName() const {
+  std::string out = "Scan(" + table_->name();
+  if (!alias_.empty() && alias_ != table_->name()) out += " as " + alias_;
+  out += ")";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogicalGroupScan
+// ---------------------------------------------------------------------------
+
+LogicalGroupScan::LogicalGroupScan(std::string var, Schema schema)
+    : LogicalOp(LogicalOpType::kGroupScan, std::move(schema)),
+      var_(std::move(var)) {}
+
+LogicalOpPtr LogicalGroupScan::Clone() const {
+  return std::make_unique<LogicalGroupScan>(var_, schema_);
+}
+
+std::string LogicalGroupScan::DebugName() const {
+  return "GroupScan($" + var_ + ")";
+}
+
+// ---------------------------------------------------------------------------
+// LogicalSelect
+// ---------------------------------------------------------------------------
+
+LogicalSelect::LogicalSelect(LogicalOpPtr child, ExprPtr predicate)
+    : LogicalOp(LogicalOpType::kSelect, child->output_schema()),
+      predicate_(std::move(predicate)) {
+  children_.push_back(std::move(child));
+}
+
+LogicalOpPtr LogicalSelect::Clone() const {
+  return std::make_unique<LogicalSelect>(child(0)->Clone(),
+                                         predicate_->Clone());
+}
+
+std::string LogicalSelect::DebugName() const {
+  return "Select(" + predicate_->ToString() + ")";
+}
+
+// ---------------------------------------------------------------------------
+// LogicalProject
+// ---------------------------------------------------------------------------
+
+Schema LogicalProject::MakeSchema(const std::vector<ExprPtr>& exprs,
+                                  const std::vector<std::string>& names) {
+  Schema out;
+  for (size_t i = 0; i < exprs.size(); ++i) {
+    out.AddColumn(Column(names[i], exprs[i]->type(), ""));
+  }
+  return out;
+}
+
+LogicalProject::LogicalProject(LogicalOpPtr child, std::vector<ExprPtr> exprs,
+                               std::vector<std::string> names)
+    : LogicalOp(LogicalOpType::kProject, MakeSchema(exprs, names)),
+      exprs_(std::move(exprs)),
+      names_(std::move(names)) {
+  children_.push_back(std::move(child));
+}
+
+void LogicalProject::ReplaceExprs(std::vector<ExprPtr> exprs,
+                                  std::vector<std::string> names) {
+  schema_ = MakeSchema(exprs, names);
+  exprs_ = std::move(exprs);
+  names_ = std::move(names);
+}
+
+LogicalOpPtr LogicalProject::Clone() const {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) exprs.push_back(e->Clone());
+  return std::make_unique<LogicalProject>(child(0)->Clone(), std::move(exprs),
+                                          names_);
+}
+
+std::string LogicalProject::DebugName() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+    if (!names_[i].empty() && names_[i] != exprs_[i]->ToString()) {
+      out += " as " + names_[i];
+    }
+  }
+  out += ")";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogicalJoin
+// ---------------------------------------------------------------------------
+
+LogicalJoin::LogicalJoin(LogicalOpPtr left, LogicalOpPtr right,
+                         std::vector<int> left_keys,
+                         std::vector<int> right_keys, ExprPtr residual)
+    : LogicalOp(
+          LogicalOpType::kJoin,
+          Schema::Concat(left->output_schema(), right->output_schema())),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)) {
+  children_.push_back(std::move(left));
+  children_.push_back(std::move(right));
+}
+
+LogicalOpPtr LogicalJoin::Clone() const {
+  return std::make_unique<LogicalJoin>(
+      child(0)->Clone(), child(1)->Clone(), left_keys_, right_keys_,
+      residual_ == nullptr ? nullptr : residual_->Clone());
+}
+
+std::string LogicalJoin::DebugName() const {
+  std::string out =
+      "Join(l=" + ColumnList(child(0)->output_schema(), left_keys_) +
+      ", r=" + ColumnList(child(1)->output_schema(), right_keys_);
+  if (residual_ != nullptr) out += ", residual=" + residual_->ToString();
+  out += ")";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogicalGroupBy / LogicalScalarAgg
+// ---------------------------------------------------------------------------
+
+LogicalGroupBy::LogicalGroupBy(LogicalOpPtr child, std::vector<int> keys,
+                               std::vector<AggregateDesc> aggs)
+    : LogicalOp(LogicalOpType::kGroupBy,
+                GroupByOutputSchema(child->output_schema(), keys, aggs)),
+      keys_(std::move(keys)),
+      aggs_(std::move(aggs)) {
+  children_.push_back(std::move(child));
+}
+
+LogicalOpPtr LogicalGroupBy::Clone() const {
+  return std::make_unique<LogicalGroupBy>(child(0)->Clone(), keys_,
+                                          CloneAggs(aggs_));
+}
+
+std::string LogicalGroupBy::DebugName() const {
+  return "GroupBy(keys=" + ColumnList(child(0)->output_schema(), keys_) +
+         ", aggs=[" + AggList(aggs_) + "])";
+}
+
+LogicalScalarAgg::LogicalScalarAgg(LogicalOpPtr child,
+                                   std::vector<AggregateDesc> aggs)
+    : LogicalOp(LogicalOpType::kScalarAgg,
+                GroupByOutputSchema(child->output_schema(), {}, aggs)),
+      aggs_(std::move(aggs)) {
+  children_.push_back(std::move(child));
+}
+
+LogicalOpPtr LogicalScalarAgg::Clone() const {
+  return std::make_unique<LogicalScalarAgg>(child(0)->Clone(),
+                                            CloneAggs(aggs_));
+}
+
+std::string LogicalScalarAgg::DebugName() const {
+  return "ScalarAgg(" + AggList(aggs_) + ")";
+}
+
+// ---------------------------------------------------------------------------
+// LogicalDistinct / LogicalUnionAll
+// ---------------------------------------------------------------------------
+
+LogicalDistinct::LogicalDistinct(LogicalOpPtr child)
+    : LogicalOp(LogicalOpType::kDistinct, child->output_schema()) {
+  children_.push_back(std::move(child));
+}
+
+LogicalOpPtr LogicalDistinct::Clone() const {
+  return std::make_unique<LogicalDistinct>(child(0)->Clone());
+}
+
+std::string LogicalDistinct::DebugName() const { return "Distinct"; }
+
+LogicalUnionAll::LogicalUnionAll(Schema schema,
+                                 std::vector<LogicalOpPtr> children)
+    : LogicalOp(LogicalOpType::kUnionAll, std::move(schema)) {
+  children_ = std::move(children);
+}
+
+Result<LogicalOpPtr> LogicalUnionAll::Make(
+    std::vector<LogicalOpPtr> children) {
+  std::vector<const Schema*> schemas;
+  schemas.reserve(children.size());
+  for (const LogicalOpPtr& c : children) {
+    schemas.push_back(&c->output_schema());
+  }
+  ASSIGN_OR_RETURN(Schema schema, UnifySchemas(schemas));
+  return LogicalOpPtr(
+      new LogicalUnionAll(std::move(schema), std::move(children)));
+}
+
+LogicalOpPtr LogicalUnionAll::Clone() const {
+  std::vector<LogicalOpPtr> kids;
+  kids.reserve(children_.size());
+  for (const LogicalOpPtr& c : children_) kids.push_back(c->Clone());
+  Result<LogicalOpPtr> r = Make(std::move(kids));
+  // Cloning an already-validated union cannot fail.
+  return std::move(r).value();
+}
+
+std::string LogicalUnionAll::DebugName() const {
+  return "UnionAll(" + std::to_string(children_.size()) + " branches)";
+}
+
+// ---------------------------------------------------------------------------
+// LogicalApply / LogicalExists / LogicalOrderBy
+// ---------------------------------------------------------------------------
+
+LogicalApply::LogicalApply(LogicalOpPtr outer, LogicalOpPtr inner)
+    : LogicalOp(
+          LogicalOpType::kApply,
+          Schema::Concat(outer->output_schema(), inner->output_schema())) {
+  children_.push_back(std::move(outer));
+  children_.push_back(std::move(inner));
+}
+
+LogicalOpPtr LogicalApply::Clone() const {
+  return std::make_unique<LogicalApply>(child(0)->Clone(), child(1)->Clone());
+}
+
+std::string LogicalApply::DebugName() const { return "Apply"; }
+
+LogicalExists::LogicalExists(LogicalOpPtr child, bool negated)
+    : LogicalOp(LogicalOpType::kExists, Schema()), negated_(negated) {
+  children_.push_back(std::move(child));
+}
+
+LogicalOpPtr LogicalExists::Clone() const {
+  return std::make_unique<LogicalExists>(child(0)->Clone(), negated_);
+}
+
+std::string LogicalExists::DebugName() const {
+  return negated_ ? "NotExists" : "Exists";
+}
+
+LogicalOrderBy::LogicalOrderBy(LogicalOpPtr child, std::vector<SortKey> keys)
+    : LogicalOp(LogicalOpType::kOrderBy, child->output_schema()),
+      keys_(std::move(keys)) {
+  children_.push_back(std::move(child));
+}
+
+LogicalOpPtr LogicalOrderBy::Clone() const {
+  return std::make_unique<LogicalOrderBy>(child(0)->Clone(), keys_);
+}
+
+std::string LogicalOrderBy::DebugName() const {
+  std::string out = "OrderBy(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema_.column(static_cast<size_t>(keys_[i].column)).name;
+    if (!keys_[i].ascending) out += " desc";
+  }
+  out += ")";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// LogicalGApply
+// ---------------------------------------------------------------------------
+
+LogicalGApply::LogicalGApply(LogicalOpPtr outer,
+                             std::vector<int> grouping_columns,
+                             std::string var, LogicalOpPtr pgq,
+                             PartitionMode mode)
+    : LogicalOp(LogicalOpType::kGApply,
+                GApplyOutputSchema(outer->output_schema(), grouping_columns,
+                                   pgq->output_schema())),
+      grouping_columns_(std::move(grouping_columns)),
+      var_(std::move(var)),
+      pgq_(std::move(pgq)),
+      mode_(mode) {
+  children_.push_back(std::move(outer));
+}
+
+LogicalOpPtr LogicalGApply::Clone() const {
+  return std::make_unique<LogicalGApply>(child(0)->Clone(),
+                                         grouping_columns_, var_,
+                                         pgq_->Clone(), mode_);
+}
+
+std::string LogicalGApply::DebugName() const {
+  return "GApply(gcols=" +
+         ColumnList(child(0)->output_schema(), grouping_columns_) +
+         ", var=$" + var_ + ", partition=" + PartitionModeName(mode_) + ")";
+}
+
+}  // namespace gapply

@@ -1,0 +1,301 @@
+#ifndef GAPPLY_PLAN_LOGICAL_PLAN_H_
+#define GAPPLY_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exec/filter_project_ops.h"  // SortKey
+#include "src/exec/gapply_op.h"           // PartitionMode
+#include "src/expr/aggregate.h"
+#include "src/expr/expr.h"
+#include "src/storage/table.h"
+
+namespace gapply {
+
+/// Logical operator kinds. The per-group-query operator set is exactly the
+/// paper's (§3): scan, select, project, distinct, apply, exists, union all,
+/// groupby, aggregate, orderby — plus GApply itself and Join for outer
+/// queries.
+enum class LogicalOpType {
+  kScan,
+  kGroupScan,
+  kSelect,
+  kProject,
+  kJoin,
+  kGroupBy,
+  kScalarAgg,
+  kDistinct,
+  kUnionAll,
+  kApply,
+  kExists,
+  kOrderBy,
+  kGApply,
+};
+
+const char* LogicalOpTypeName(LogicalOpType type);
+
+class LogicalOp;
+using LogicalOpPtr = std::unique_ptr<LogicalOp>;
+
+/// \brief Base class for logical plan nodes.
+///
+/// Children are owned and uniformly accessible so optimizer rules can
+/// traverse and splice subtrees generically; subclasses add typed accessors
+/// for their operator-specific state. Output schemas are computed at
+/// construction and are immutable.
+class LogicalOp {
+ public:
+  virtual ~LogicalOp() = default;
+
+  LogicalOp(const LogicalOp&) = delete;
+  LogicalOp& operator=(const LogicalOp&) = delete;
+
+  LogicalOpType type() const { return type_; }
+  const Schema& output_schema() const { return schema_; }
+
+  size_t num_children() const { return children_.size(); }
+  LogicalOp* child(size_t i) const { return children_[i].get(); }
+  /// Detaches child i (caller re-attaches or discards).
+  LogicalOpPtr TakeChild(size_t i) { return std::move(children_[i]); }
+  void SetChild(size_t i, LogicalOpPtr op) { children_[i] = std::move(op); }
+
+  virtual LogicalOpPtr Clone() const = 0;
+  /// Node label with salient arguments for plan printing.
+  virtual std::string DebugName() const = 0;
+  /// Indented multi-line rendering of the subtree.
+  std::string DebugString(int indent = 0) const;
+
+ protected:
+  LogicalOp(LogicalOpType type, Schema schema)
+      : type_(type), schema_(std::move(schema)) {}
+
+  LogicalOpType type_;
+  Schema schema_;
+  std::vector<LogicalOpPtr> children_;
+};
+
+/// Base-table scan. Holds the table pointer (for lowering) plus its alias.
+class LogicalScan : public LogicalOp {
+ public:
+  explicit LogicalScan(const Table* table, std::string alias = "");
+
+  const Table* table() const { return table_; }
+  const std::string& table_name() const { return table_->name(); }
+  const std::string& alias() const { return alias_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  const Table* table_;
+  std::string alias_;
+};
+
+/// Scan of the relation-valued variable bound by an enclosing GApply.
+class LogicalGroupScan : public LogicalOp {
+ public:
+  LogicalGroupScan(std::string var, Schema schema);
+
+  const std::string& var() const { return var_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  std::string var_;
+};
+
+/// Selection (σ).
+class LogicalSelect : public LogicalOp {
+ public:
+  LogicalSelect(LogicalOpPtr child, ExprPtr predicate);
+
+  const Expr& predicate() const { return *predicate_; }
+  ExprPtr TakePredicate() { return std::move(predicate_); }
+  void SetPredicate(ExprPtr p) { predicate_ = std::move(p); }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  ExprPtr predicate_;
+};
+
+/// Projection (π) with computed expressions; multiset semantics (no
+/// duplicate elimination).
+class LogicalProject : public LogicalOp {
+ public:
+  LogicalProject(LogicalOpPtr child, std::vector<ExprPtr> exprs,
+                 std::vector<std::string> names);
+
+  const std::vector<ExprPtr>& exprs() const { return exprs_; }
+  std::vector<ExprPtr>* mutable_exprs() { return &exprs_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Rebuilds expressions and schema after an optimizer edit (used when
+  /// adapting per-group queries for invariant grouping).
+  void ReplaceExprs(std::vector<ExprPtr> exprs, std::vector<std::string> names);
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  static Schema MakeSchema(const std::vector<ExprPtr>& exprs,
+                           const std::vector<std::string>& names);
+
+  std::vector<ExprPtr> exprs_;
+  std::vector<std::string> names_;
+};
+
+/// Inner equi-join annotated with key columns and an optional residual
+/// predicate over the concatenated schema — the "annotated join tree"
+/// representation the paper assumes for outer queries (§4).
+class LogicalJoin : public LogicalOp {
+ public:
+  LogicalJoin(LogicalOpPtr left, LogicalOpPtr right,
+              std::vector<int> left_keys, std::vector<int> right_keys,
+              ExprPtr residual = nullptr);
+
+  const std::vector<int>& left_keys() const { return left_keys_; }
+  const std::vector<int>& right_keys() const { return right_keys_; }
+  const Expr* residual() const { return residual_.get(); }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  std::vector<int> left_keys_;
+  std::vector<int> right_keys_;
+  ExprPtr residual_;
+};
+
+/// GROUP BY with aggregates (key columns are input-column indexes).
+class LogicalGroupBy : public LogicalOp {
+ public:
+  LogicalGroupBy(LogicalOpPtr child, std::vector<int> keys,
+                 std::vector<AggregateDesc> aggs);
+
+  const std::vector<int>& keys() const { return keys_; }
+  const std::vector<AggregateDesc>& aggs() const { return aggs_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  std::vector<int> keys_;
+  std::vector<AggregateDesc> aggs_;
+};
+
+/// Aggregation without grouping: exactly one output row (never empty on
+/// empty input — central to the paper's emptyOnEmpty analysis).
+class LogicalScalarAgg : public LogicalOp {
+ public:
+  LogicalScalarAgg(LogicalOpPtr child, std::vector<AggregateDesc> aggs);
+
+  const std::vector<AggregateDesc>& aggs() const { return aggs_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  std::vector<AggregateDesc> aggs_;
+};
+
+class LogicalDistinct : public LogicalOp {
+ public:
+  explicit LogicalDistinct(LogicalOpPtr child);
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+};
+
+class LogicalUnionAll : public LogicalOp {
+ public:
+  /// Fails when branch schemas are not union-compatible.
+  static Result<LogicalOpPtr> Make(std::vector<LogicalOpPtr> children);
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  LogicalUnionAll(Schema schema, std::vector<LogicalOpPtr> children);
+};
+
+/// The paper's apply operator: for each outer row r, evaluate the inner
+/// (parameterized) expression and emit {r} × inner(r).
+class LogicalApply : public LogicalOp {
+ public:
+  LogicalApply(LogicalOpPtr outer, LogicalOpPtr inner);
+
+  LogicalOp* outer() const { return child(0); }
+  LogicalOp* inner() const { return child(1); }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+};
+
+/// The paper's exists operator: {φ} if input nonempty, φ otherwise. Only
+/// valid as the inner child of Apply.
+class LogicalExists : public LogicalOp {
+ public:
+  explicit LogicalExists(LogicalOpPtr child, bool negated = false);
+
+  bool negated() const { return negated_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  bool negated_;
+};
+
+class LogicalOrderBy : public LogicalOp {
+ public:
+  LogicalOrderBy(LogicalOpPtr child, std::vector<SortKey> keys);
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// \brief The paper's GApply(GCols, PGQ) logical operator.
+///
+/// child(0) is the outer query; `pgq` is the per-group query whose
+/// LogicalGroupScan leaves reference `var`. Output schema: grouping columns
+/// then PGQ output.
+class LogicalGApply : public LogicalOp {
+ public:
+  LogicalGApply(LogicalOpPtr outer, std::vector<int> grouping_columns,
+                std::string var, LogicalOpPtr pgq,
+                PartitionMode mode = PartitionMode::kHash);
+
+  LogicalOp* outer() const { return child(0); }
+  LogicalOp* pgq() const { return pgq_.get(); }
+  LogicalOpPtr TakePgq() { return std::move(pgq_); }
+  void SetPgq(LogicalOpPtr pgq) { pgq_ = std::move(pgq); }
+
+  const std::vector<int>& grouping_columns() const {
+    return grouping_columns_;
+  }
+  const std::string& var() const { return var_; }
+  PartitionMode mode() const { return mode_; }
+
+  LogicalOpPtr Clone() const override;
+  std::string DebugName() const override;
+
+ private:
+  // The PGQ is held separately from children_: generic child traversal walks
+  // the *outer* data-flow tree; rules touch the PGQ deliberately via pgq().
+  std::vector<int> grouping_columns_;
+  std::string var_;
+  LogicalOpPtr pgq_;
+  PartitionMode mode_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_PLAN_LOGICAL_PLAN_H_

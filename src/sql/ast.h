@@ -1,0 +1,95 @@
+#ifndef GAPPLY_SQL_AST_H_
+#define GAPPLY_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/value.h"
+#include "src/expr/expr.h"  // UnaryOp / BinaryOp enums
+
+namespace gapply::sql {
+
+struct Query;
+
+enum class SqlExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,
+  kBinary,
+  kFuncCall,        // aggregate or scalar function
+  kScalarSubquery,  // (select ...)
+  kExists,          // [not] exists (select ...)
+};
+
+/// Unresolved expression tree produced by the parser. The binder turns it
+/// into a bound `Expr` (and subqueries into Apply operators).
+struct SqlExpr {
+  SqlExprKind kind = SqlExprKind::kLiteral;
+
+  Value literal;                     // kLiteral
+
+  std::string qualifier;             // kColumnRef: "t" in t.c (may be empty)
+  std::string name;                  // kColumnRef column name (lowercased)
+
+  UnaryOp unary_op = UnaryOp::kNot;  // kUnary (operand in `left`)
+  BinaryOp binary_op = BinaryOp::kEq;
+  std::unique_ptr<SqlExpr> left;
+  std::unique_ptr<SqlExpr> right;
+
+  std::string func;                  // kFuncCall name (lowercased)
+  std::vector<std::unique_ptr<SqlExpr>> args;
+  bool star_arg = false;             // count(*)
+  bool distinct_arg = false;         // count(distinct x)
+
+  std::unique_ptr<Query> subquery;   // kScalarSubquery / kExists
+  bool negated = false;              // not exists
+};
+
+using SqlExprPtr = std::unique_ptr<SqlExpr>;
+
+struct SelectItem {
+  SqlExprPtr expr;
+  std::string alias;  // empty = derived from the expression
+};
+
+struct TableRef {
+  std::string table;  // lowercased
+  std::string alias;  // defaults to the table name
+};
+
+struct OrderItem {
+  SqlExprPtr expr;  // typically a column reference
+  bool ascending = true;
+};
+
+/// One SELECT block. Either the classic form (`items`) or the paper's §3.1
+/// groupwise form: `select gapply(<query>) [as (names)] from ... group by
+/// cols : var`.
+struct SelectStmt {
+  // Classic form.
+  std::vector<SelectItem> items;
+  bool select_star = false;
+
+  // gapply form.
+  std::unique_ptr<Query> gapply_pgq;       // non-null ⇒ groupwise select
+  std::vector<std::string> gapply_names;   // optional "as (a, b, c)"
+
+  std::vector<TableRef> from;
+  SqlExprPtr where;
+  std::vector<SqlExprPtr> group_by;        // grouping column references
+  std::string group_var;                   // "x" in `group by cols : x`
+  SqlExprPtr having;
+};
+
+/// Full query: UNION ALL chain plus an optional trailing ORDER BY.
+struct Query {
+  std::vector<std::unique_ptr<SelectStmt>> branches;
+  std::vector<OrderItem> order_by;
+};
+
+using QueryPtr = std::unique_ptr<Query>;
+
+}  // namespace gapply::sql
+
+#endif  // GAPPLY_SQL_AST_H_

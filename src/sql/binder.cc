@@ -1,0 +1,538 @@
+#include "src/sql/binder.h"
+
+#include <map>
+
+#include "src/common/string_util.h"
+#include "src/sql/parser.h"
+
+namespace gapply::sql {
+
+namespace {
+
+// Splits an AND tree into conjunct pointers (AST is not modified).
+void SplitSqlConjuncts(const SqlExpr* expr,
+                       std::vector<const SqlExpr*>* out) {
+  if (expr == nullptr) return;
+  if (expr->kind == SqlExprKind::kBinary &&
+      expr->binary_op == BinaryOp::kAnd) {
+    SplitSqlConjuncts(expr->left.get(), out);
+    SplitSqlConjuncts(expr->right.get(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+bool ContainsAggregate(const SqlExpr& expr) {
+  switch (expr.kind) {
+    case SqlExprKind::kFuncCall:
+      return true;
+    case SqlExprKind::kUnary:
+      return expr.left != nullptr && ContainsAggregate(*expr.left);
+    case SqlExprKind::kBinary:
+      return (expr.left != nullptr && ContainsAggregate(*expr.left)) ||
+             (expr.right != nullptr && ContainsAggregate(*expr.right));
+    default:
+      return false;  // subqueries are separate scopes
+  }
+}
+
+Result<AggKind> AggKindFromName(const std::string& name, bool star) {
+  if (name == "count") return star ? AggKind::kCountStar : AggKind::kCount;
+  if (name == "sum") return AggKind::kSum;
+  if (name == "avg") return AggKind::kAvg;
+  if (name == "min") return AggKind::kMin;
+  if (name == "max") return AggKind::kMax;
+  return Status::InvalidArgument("unknown aggregate function: " + name);
+}
+
+std::string ItemName(const SelectItem& item, size_t index) {
+  if (!item.alias.empty()) return item.alias;
+  if (item.expr->kind == SqlExprKind::kColumnRef) return item.expr->name;
+  if (item.expr->kind == SqlExprKind::kFuncCall) return item.expr->func;
+  return "col" + std::to_string(index);
+}
+
+}  // namespace
+
+Result<LogicalOpPtr> Binder::Bind(const Query& query) {
+  std::vector<Scope> scopes;
+  return BindQuery(query, &scopes);
+}
+
+Result<LogicalOpPtr> Binder::BindQuery(const Query& query,
+                                       std::vector<Scope>* scopes) {
+  if (query.branches.empty()) {
+    return Status::InvalidArgument("query with no select branches");
+  }
+  std::vector<LogicalOpPtr> branches;
+  for (const auto& stmt : query.branches) {
+    ASSIGN_OR_RETURN(LogicalOpPtr branch, BindSelect(*stmt, scopes));
+    branches.push_back(std::move(branch));
+  }
+  LogicalOpPtr plan;
+  if (branches.size() == 1) {
+    plan = std::move(branches[0]);
+  } else {
+    ASSIGN_OR_RETURN(plan, LogicalUnionAll::Make(std::move(branches)));
+  }
+  if (!query.order_by.empty()) {
+    std::vector<SortKey> keys;
+    std::vector<Scope> local{{&plan->output_schema()}};
+    for (const OrderItem& item : query.order_by) {
+      ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*item.expr, &local));
+      if (e->kind() != ExprKind::kColumnRef) {
+        return Status::NotImplemented(
+            "ORDER BY supports only column references");
+      }
+      keys.push_back({static_cast<const ColumnRefExpr*>(e.get())->index(),
+                      item.ascending});
+    }
+    plan = std::make_unique<LogicalOrderBy>(std::move(plan), std::move(keys));
+  }
+  return plan;
+}
+
+Result<LogicalOpPtr> Binder::BindScanRef(const TableRef& ref) {
+  // Group variables shadow tables (innermost binding last).
+  for (auto it = group_vars_.rbegin(); it != group_vars_.rend(); ++it) {
+    if (EqualsIgnoreCase(it->name, ref.table)) {
+      Schema schema = *it->schema;
+      if (!EqualsIgnoreCase(ref.alias, ref.table)) {
+        schema = schema.WithQualifier(ref.alias);
+      }
+      return LogicalOpPtr(
+          std::make_unique<LogicalGroupScan>(it->name, std::move(schema)));
+    }
+  }
+  ASSIGN_OR_RETURN(Table * table, catalog_->GetTable(ref.table));
+  return LogicalOpPtr(std::make_unique<LogicalScan>(table, ref.alias));
+}
+
+Result<LogicalOpPtr> Binder::BindFrom(const SelectStmt& stmt,
+                                      std::vector<const SqlExpr*>* conjuncts,
+                                      std::vector<Scope>* scopes) {
+  (void)scopes;
+  if (stmt.from.empty()) {
+    return Status::InvalidArgument("FROM clause is required");
+  }
+  ASSIGN_OR_RETURN(LogicalOpPtr plan, BindScanRef(stmt.from[0]));
+
+  for (size_t i = 1; i < stmt.from.size(); ++i) {
+    ASSIGN_OR_RETURN(LogicalOpPtr right, BindScanRef(stmt.from[i]));
+    const Schema& ls = plan->output_schema();
+    const Schema& rs = right->output_schema();
+
+    // Pull equality conjuncts that bridge the accumulated plan and the new
+    // table; they become the join's key annotation (§4's annotated joins).
+    std::vector<int> left_keys;
+    std::vector<int> right_keys;
+    for (auto it = conjuncts->begin(); it != conjuncts->end();) {
+      const SqlExpr* c = *it;
+      bool consumed = false;
+      if (c->kind == SqlExprKind::kBinary &&
+          c->binary_op == BinaryOp::kEq &&
+          c->left->kind == SqlExprKind::kColumnRef &&
+          c->right->kind == SqlExprKind::kColumnRef) {
+        const auto resolve = [](const Schema& s, const SqlExpr& e) {
+          return s.TryResolve(e.name, e.qualifier);
+        };
+        int li = resolve(ls, *c->left);
+        int ri = resolve(rs, *c->right);
+        if (li < 0 || ri < 0) {
+          li = resolve(ls, *c->right);
+          ri = resolve(rs, *c->left);
+        }
+        if (li >= 0 && ri >= 0) {
+          left_keys.push_back(li);
+          right_keys.push_back(ri);
+          consumed = true;
+        }
+      }
+      it = consumed ? conjuncts->erase(it) : it + 1;
+    }
+    plan = std::make_unique<LogicalJoin>(std::move(plan), std::move(right),
+                                         std::move(left_keys),
+                                         std::move(right_keys));
+  }
+  return plan;
+}
+
+Result<ExprPtr> Binder::BindExpr(const SqlExpr& expr,
+                                 std::vector<Scope>* scopes) {
+  switch (expr.kind) {
+    case SqlExprKind::kLiteral:
+      return Lit(expr.literal);
+    case SqlExprKind::kColumnRef: {
+      // Innermost scope → plain reference; enclosing scopes → correlated.
+      for (size_t up = 0; up < scopes->size(); ++up) {
+        const Schema& schema = *(*scopes)[scopes->size() - 1 - up].schema;
+        const int idx = schema.TryResolve(expr.name, expr.qualifier);
+        if (idx < 0) continue;
+        const Column& col = schema.column(static_cast<size_t>(idx));
+        if (up == 0) {
+          return ExprPtr(
+              std::make_unique<ColumnRefExpr>(idx, col.type, col.name));
+        }
+        return ExprPtr(std::make_unique<CorrelatedColumnRefExpr>(
+            static_cast<int>(up) - 1, idx, col.type, col.name));
+      }
+      return Status::NotFound(
+          "column not found: " +
+          (expr.qualifier.empty() ? expr.name
+                                  : expr.qualifier + "." + expr.name));
+    }
+    case SqlExprKind::kUnary: {
+      ASSIGN_OR_RETURN(ExprPtr child, BindExpr(*expr.left, scopes));
+      return Unary(expr.unary_op, std::move(child));
+    }
+    case SqlExprKind::kBinary: {
+      ASSIGN_OR_RETURN(ExprPtr l, BindExpr(*expr.left, scopes));
+      ASSIGN_OR_RETURN(ExprPtr r, BindExpr(*expr.right, scopes));
+      return Binary(expr.binary_op, std::move(l), std::move(r));
+    }
+    case SqlExprKind::kFuncCall:
+      return Status::InvalidArgument(
+          "aggregate '" + expr.func + "' is not allowed in this context");
+    case SqlExprKind::kScalarSubquery:
+    case SqlExprKind::kExists:
+      return Status::InvalidArgument(
+          "subquery is not allowed in this context");
+  }
+  return Status::Internal("unknown SQL expression kind");
+}
+
+Result<ExprPtr> Binder::BindPredicate(const SqlExpr& expr, LogicalOpPtr* plan,
+                                      std::vector<Scope>* scopes) {
+  // Top-level [NOT] EXISTS conjunct: becomes Apply + Exists, filtering by
+  // construction; nothing remains to evaluate.
+  if (expr.kind == SqlExprKind::kExists) {
+    const Schema outer_schema = (*plan)->output_schema();
+    scopes->push_back({&outer_schema});
+    Result<LogicalOpPtr> sub = BindQuery(*expr.subquery, scopes);
+    scopes->pop_back();
+    RETURN_NOT_OK(sub.status());
+    auto exists = std::make_unique<LogicalExists>(std::move(*sub),
+                                                  expr.negated);
+    *plan = std::make_unique<LogicalApply>(std::move(*plan),
+                                           std::move(exists));
+    return ExprPtr(nullptr);
+  }
+
+  // General expression: recursively replace scalar subqueries by Apply
+  // output columns, then bind the rest normally.
+  struct Rewriter {
+    Binder* binder;
+    LogicalOpPtr* plan;
+    std::vector<Scope>* scopes;
+
+    Result<ExprPtr> Rewrite(const SqlExpr& e) {
+      switch (e.kind) {
+        case SqlExprKind::kScalarSubquery: {
+          const Schema outer_schema = (*plan)->output_schema();
+          scopes->push_back({&outer_schema});
+          Result<LogicalOpPtr> sub = binder->BindQuery(*e.subquery, scopes);
+          scopes->pop_back();
+          RETURN_NOT_OK(sub.status());
+          if ((*sub)->output_schema().num_columns() != 1) {
+            return Status::InvalidArgument(
+                "scalar subquery must return exactly one column");
+          }
+          const int idx =
+              static_cast<int>((*plan)->output_schema().num_columns());
+          const Column col = (*sub)->output_schema().column(0);
+          *plan = std::make_unique<LogicalApply>(std::move(*plan),
+                                                 std::move(*sub));
+          return ExprPtr(
+              std::make_unique<ColumnRefExpr>(idx, col.type, col.name));
+        }
+        case SqlExprKind::kExists:
+          return Status::NotImplemented(
+              "EXISTS must be a top-level WHERE conjunct");
+        case SqlExprKind::kUnary: {
+          ASSIGN_OR_RETURN(ExprPtr child, Rewrite(*e.left));
+          return Unary(e.unary_op, std::move(child));
+        }
+        case SqlExprKind::kBinary: {
+          ASSIGN_OR_RETURN(ExprPtr l, Rewrite(*e.left));
+          ASSIGN_OR_RETURN(ExprPtr r, Rewrite(*e.right));
+          return Binary(e.binary_op, std::move(l), std::move(r));
+        }
+        default: {
+          // Plain leaf: bind against the current plan plus outer scopes.
+          std::vector<Scope> local = *scopes;
+          local.push_back({&(*plan)->output_schema()});
+          return binder->BindExpr(e, &local);
+        }
+      }
+    }
+  };
+  Rewriter rewriter{this, plan, scopes};
+  return rewriter.Rewrite(expr);
+}
+
+Result<LogicalOpPtr> Binder::BindGApplySelect(const SelectStmt& stmt,
+                                              LogicalOpPtr input,
+                                              std::vector<Scope>* scopes) {
+  if (stmt.group_var.empty()) {
+    return Status::InvalidArgument(
+        "select gapply(...) requires 'group by <cols> : <var>'");
+  }
+  if (stmt.group_by.empty()) {
+    return Status::InvalidArgument(
+        "select gapply(...) requires grouping columns");
+  }
+  const Schema group_schema = input->output_schema();
+  std::vector<int> gcols;
+  {
+    std::vector<Scope> local{{&group_schema}};
+    for (const SqlExprPtr& g : stmt.group_by) {
+      ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*g, &local));
+      if (e->kind() != ExprKind::kColumnRef) {
+        return Status::InvalidArgument(
+            "grouping expressions must be column references");
+      }
+      gcols.push_back(static_cast<const ColumnRefExpr*>(e.get())->index());
+    }
+  }
+
+  group_vars_.push_back({stmt.group_var, &group_schema});
+  Result<LogicalOpPtr> pgq = BindQuery(*stmt.gapply_pgq, scopes);
+  group_vars_.pop_back();
+  RETURN_NOT_OK(pgq.status());
+
+  LogicalOpPtr pgq_plan = std::move(*pgq);
+  if (!stmt.gapply_names.empty()) {
+    const Schema& ps = pgq_plan->output_schema();
+    if (stmt.gapply_names.size() != ps.num_columns()) {
+      return Status::InvalidArgument(
+          "gapply 'as (...)' names a different number of columns than the "
+          "per-group query returns");
+    }
+    std::vector<ExprPtr> exprs;
+    for (size_t i = 0; i < ps.num_columns(); ++i) {
+      exprs.push_back(Col(ps, static_cast<int>(i)));
+    }
+    pgq_plan = std::make_unique<LogicalProject>(
+        std::move(pgq_plan), std::move(exprs), stmt.gapply_names);
+  }
+  return LogicalOpPtr(std::make_unique<LogicalGApply>(
+      std::move(input), std::move(gcols), stmt.group_var,
+      std::move(pgq_plan)));
+}
+
+Result<LogicalOpPtr> Binder::BindSelect(const SelectStmt& stmt,
+                                        std::vector<Scope>* scopes) {
+  if (stmt.gapply_pgq == nullptr && !stmt.group_var.empty()) {
+    return Status::InvalidArgument(
+        "'group by ... : var' requires a gapply select list");
+  }
+
+  std::vector<const SqlExpr*> conjuncts;
+  SplitSqlConjuncts(stmt.where.get(), &conjuncts);
+
+  ASSIGN_OR_RETURN(LogicalOpPtr plan, BindFrom(stmt, &conjuncts, scopes));
+  const size_t base_width = plan->output_schema().num_columns();
+
+  // Remaining WHERE conjuncts (selections, scalar subqueries, EXISTS).
+  for (const SqlExpr* c : conjuncts) {
+    ASSIGN_OR_RETURN(ExprPtr pred, BindPredicate(*c, &plan, scopes));
+    if (pred != nullptr) {
+      plan = std::make_unique<LogicalSelect>(std::move(plan),
+                                             std::move(pred));
+    }
+  }
+  // Subquery Applys appended columns: restore the FROM-visible schema so
+  // later phases (grouping, gapply variable binding) see only real columns.
+  if (plan->output_schema().num_columns() > base_width) {
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < base_width; ++i) {
+      exprs.push_back(Col(plan->output_schema(), static_cast<int>(i)));
+      names.push_back(plan->output_schema().column(i).name);
+    }
+    plan = std::make_unique<LogicalProject>(std::move(plan),
+                                            std::move(exprs),
+                                            std::move(names));
+  }
+
+  if (stmt.gapply_pgq != nullptr) {
+    return BindGApplySelect(stmt, std::move(plan), scopes);
+  }
+
+  // Classic aggregation paths.
+  bool has_agg = stmt.having != nullptr && ContainsAggregate(*stmt.having);
+  for (const SelectItem& item : stmt.items) {
+    has_agg = has_agg || ContainsAggregate(*item.expr);
+  }
+
+  if (stmt.group_by.empty() && !has_agg) {
+    if (stmt.having != nullptr) {
+      return Status::InvalidArgument("HAVING requires aggregation");
+    }
+    if (stmt.select_star) return plan;
+    // Plain projection, allowing scalar subqueries in the select list.
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+    for (size_t i = 0; i < stmt.items.size(); ++i) {
+      ASSIGN_OR_RETURN(ExprPtr e,
+                       BindPredicate(*stmt.items[i].expr, &plan, scopes));
+      if (e == nullptr) {
+        return Status::InvalidArgument(
+            "EXISTS is not allowed in the select list");
+      }
+      exprs.push_back(std::move(e));
+      names.push_back(ItemName(stmt.items[i], i));
+    }
+    return LogicalOpPtr(std::make_unique<LogicalProject>(
+        std::move(plan), std::move(exprs), std::move(names)));
+  }
+
+  if (stmt.select_star) {
+    return Status::InvalidArgument("SELECT * cannot be combined with "
+                                   "aggregation");
+  }
+
+  // Collect aggregates from the select list and HAVING, bound against the
+  // pre-aggregation schema.
+  std::vector<AggregateDesc> aggs;
+  std::map<const SqlExpr*, int> agg_slot;  // AST node → agg output ordinal
+  {
+    std::vector<Scope> local = *scopes;
+    local.push_back({&plan->output_schema()});
+    struct Collector {
+      Binder* binder;
+      std::vector<Scope>* local;
+      std::vector<AggregateDesc>* aggs;
+      std::map<const SqlExpr*, int>* slots;
+
+      Status Collect(const SqlExpr& e) {
+        if (e.kind == SqlExprKind::kFuncCall) {
+          ASSIGN_OR_RETURN(AggKind kind,
+                           AggKindFromName(e.func, e.star_arg));
+          ExprPtr arg;
+          if (!e.star_arg) {
+            if (e.args.size() != 1) {
+              return Status::InvalidArgument("aggregate takes one argument");
+            }
+            ASSIGN_OR_RETURN(arg, binder->BindExpr(*e.args[0], local));
+          }
+          (*slots)[&e] = static_cast<int>(aggs->size());
+          aggs->emplace_back(kind, std::move(arg),
+                             e.func + std::to_string(aggs->size()),
+                             e.distinct_arg);
+          return Status::OK();
+        }
+        if (e.kind == SqlExprKind::kUnary && e.left != nullptr) {
+          return Collect(*e.left);
+        }
+        if (e.kind == SqlExprKind::kBinary) {
+          RETURN_NOT_OK(Collect(*e.left));
+          return Collect(*e.right);
+        }
+        if (e.kind == SqlExprKind::kScalarSubquery ||
+            e.kind == SqlExprKind::kExists) {
+          return Status::NotImplemented(
+              "subqueries are not supported in aggregated select lists");
+        }
+        return Status::OK();
+      }
+    };
+    Collector collector{this, &local, &aggs, &agg_slot};
+    for (const SelectItem& item : stmt.items) {
+      RETURN_NOT_OK(collector.Collect(*item.expr));
+    }
+    if (stmt.having != nullptr) {
+      RETURN_NOT_OK(collector.Collect(*stmt.having));
+    }
+  }
+
+  // Resolve grouping keys and build the aggregation operator.
+  size_t num_keys = 0;
+  if (!stmt.group_by.empty()) {
+    std::vector<int> keys;
+    std::vector<Scope> local{{&plan->output_schema()}};
+    for (const SqlExprPtr& g : stmt.group_by) {
+      ASSIGN_OR_RETURN(ExprPtr e, BindExpr(*g, &local));
+      if (e->kind() != ExprKind::kColumnRef) {
+        return Status::InvalidArgument(
+            "GROUP BY expressions must be column references");
+      }
+      keys.push_back(static_cast<const ColumnRefExpr*>(e.get())->index());
+    }
+    num_keys = keys.size();
+    plan = std::make_unique<LogicalGroupBy>(std::move(plan),
+                                            std::move(keys),
+                                            std::move(aggs));
+  } else {
+    plan = std::make_unique<LogicalScalarAgg>(std::move(plan),
+                                              std::move(aggs));
+  }
+
+  // Re-bind the select items / HAVING against the post-aggregation schema:
+  // aggregate calls become references to their output slots.
+  const Schema& post = plan->output_schema();
+  struct PostBinder {
+    Binder* binder;
+    const Schema* post;
+    const std::map<const SqlExpr*, int>* slots;
+    size_t num_keys;
+    std::vector<Scope>* scopes;
+
+    Result<ExprPtr> Rebind(const SqlExpr& e) {
+      if (e.kind == SqlExprKind::kFuncCall) {
+        const int slot = slots->at(&e);
+        const int idx = static_cast<int>(num_keys) + slot;
+        const Column& col = post->column(static_cast<size_t>(idx));
+        return ExprPtr(
+            std::make_unique<ColumnRefExpr>(idx, col.type, col.name));
+      }
+      if (e.kind == SqlExprKind::kUnary) {
+        ASSIGN_OR_RETURN(ExprPtr child, Rebind(*e.left));
+        return Unary(e.unary_op, std::move(child));
+      }
+      if (e.kind == SqlExprKind::kBinary) {
+        ASSIGN_OR_RETURN(ExprPtr l, Rebind(*e.left));
+        ASSIGN_OR_RETURN(ExprPtr r, Rebind(*e.right));
+        return Binary(e.binary_op, std::move(l), std::move(r));
+      }
+      // Column references must name grouping columns (resolved against the
+      // post-agg schema, whose first num_keys columns are the keys).
+      std::vector<Scope> local = *scopes;
+      local.push_back({post});
+      ASSIGN_OR_RETURN(ExprPtr bound, binder->BindExpr(e, &local));
+      if (bound->kind() == ExprKind::kColumnRef &&
+          static_cast<const ColumnRefExpr*>(bound.get())->index() >=
+              static_cast<int>(num_keys)) {
+        return Status::InvalidArgument(
+            "select list column is neither grouped nor aggregated");
+      }
+      return bound;
+    }
+  };
+  PostBinder post_binder{this, &post, &agg_slot, num_keys, scopes};
+
+  if (stmt.having != nullptr) {
+    ASSIGN_OR_RETURN(ExprPtr having, post_binder.Rebind(*stmt.having));
+    plan = std::make_unique<LogicalSelect>(std::move(plan),
+                                           std::move(having));
+  }
+
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (size_t i = 0; i < stmt.items.size(); ++i) {
+    ASSIGN_OR_RETURN(ExprPtr e, post_binder.Rebind(*stmt.items[i].expr));
+    exprs.push_back(std::move(e));
+    names.push_back(ItemName(stmt.items[i], i));
+  }
+  return LogicalOpPtr(std::make_unique<LogicalProject>(
+      std::move(plan), std::move(exprs), std::move(names)));
+}
+
+Result<LogicalOpPtr> ParseAndBind(const Catalog& catalog,
+                                  const std::string& sql) {
+  ASSIGN_OR_RETURN(QueryPtr query, Parse(sql));
+  Binder binder(&catalog);
+  return binder.Bind(*query);
+}
+
+}  // namespace gapply::sql

@@ -1,0 +1,78 @@
+#ifndef GAPPLY_SQL_BINDER_H_
+#define GAPPLY_SQL_BINDER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/plan/logical_plan.h"
+#include "src/sql/ast.h"
+#include "src/storage/catalog.h"
+
+namespace gapply::sql {
+
+/// \brief Semantic analysis: resolves a parsed Query against a catalog and
+/// produces a bound logical plan.
+///
+/// Notable translations:
+///  - Comma joins + WHERE equi-conjuncts become left-deep annotated join
+///    trees (the §4 representation); remaining conjuncts become selections.
+///  - Scalar subqueries become Apply operators whose appended column
+///    replaces the subquery in the predicate; `[NOT] EXISTS (...)` becomes
+///    Apply + Exists. Column references that resolve in an enclosing scope
+///    become correlated references (depth = number of intervening Applys).
+///  - `select gapply(PGQ(x)) … group by cols : x` becomes LogicalGApply;
+///    inside the PGQ, `from x` scans the relation-valued variable, which
+///    carries *all* columns of the outer query (§3.1).
+class Binder {
+ public:
+  explicit Binder(const Catalog* catalog) : catalog_(catalog) {}
+
+  Result<LogicalOpPtr> Bind(const Query& query);
+
+ private:
+  struct Scope {
+    const Schema* schema;
+  };
+
+  /// Group variables visible to FROM clauses (name → group schema).
+  struct GroupVar {
+    std::string name;
+    const Schema* schema;
+  };
+
+  Result<LogicalOpPtr> BindQuery(const Query& query,
+                                 std::vector<Scope>* scopes);
+  Result<LogicalOpPtr> BindSelect(const SelectStmt& stmt,
+                                  std::vector<Scope>* scopes);
+  Result<LogicalOpPtr> BindGApplySelect(const SelectStmt& stmt,
+                                        LogicalOpPtr input,
+                                        std::vector<Scope>* scopes);
+
+  /// FROM list (+ join-key extraction from WHERE conjuncts) → plan; the
+  /// conjuncts consumed as join keys are removed from `conjuncts`.
+  Result<LogicalOpPtr> BindFrom(const SelectStmt& stmt,
+                                std::vector<const SqlExpr*>* conjuncts,
+                                std::vector<Scope>* scopes);
+
+  /// Rewrites subqueries in `expr` into Applys around `*plan`; returns the
+  /// bound expression (which may reference appended columns), or nullptr
+  /// for a consumed top-level EXISTS conjunct.
+  Result<ExprPtr> BindPredicate(const SqlExpr& expr, LogicalOpPtr* plan,
+                                std::vector<Scope>* scopes);
+
+  /// Pure expression binding (no subqueries allowed).
+  Result<ExprPtr> BindExpr(const SqlExpr& expr, std::vector<Scope>* scopes);
+
+  Result<LogicalOpPtr> BindScanRef(const TableRef& ref);
+
+  const Catalog* catalog_;
+  std::vector<GroupVar> group_vars_;
+};
+
+/// Convenience: parse + bind.
+Result<LogicalOpPtr> ParseAndBind(const Catalog& catalog,
+                                  const std::string& sql);
+
+}  // namespace gapply::sql
+
+#endif  // GAPPLY_SQL_BINDER_H_

@@ -1,0 +1,35 @@
+#ifndef GAPPLY_SQL_LEXER_H_
+#define GAPPLY_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace gapply::sql {
+
+enum class TokenType {
+  kIdentifier,  // table / column / function names (case-insensitive)
+  kInteger,
+  kFloat,
+  kString,    // '...' literal, quotes stripped, '' unescaped
+  kSymbol,    // punctuation / operators, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier lowercased; symbols verbatim
+  std::string raw;    // original spelling (for error messages)
+  size_t position = 0;  // byte offset in the input
+};
+
+/// Splits `input` into tokens. Symbols recognized:
+///   ( ) , . ; : * + - / % = <> != < <= > >=
+/// Comments: `-- ...` to end of line. Errors: unterminated strings,
+/// unexpected characters.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace gapply::sql
+
+#endif  // GAPPLY_SQL_LEXER_H_

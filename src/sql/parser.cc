@@ -1,0 +1,422 @@
+#include "src/sql/parser.h"
+
+#include <set>
+
+#include "src/sql/lexer.h"
+
+namespace gapply::sql {
+
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const std::set<std::string>* kw = new std::set<std::string>{
+      "select", "from",  "where",    "group", "by",   "having", "order",
+      "union",  "all",   "as",       "and",   "or",   "not",    "is",
+      "null",   "true",  "false",    "exists", "asc", "desc",   "distinct",
+      "gapply", "count", "sum",      "avg",   "min",  "max",    "on",
+  };
+  return *kw;
+}
+
+bool IsAggregateName(const std::string& name) {
+  return name == "count" || name == "sum" || name == "avg" ||
+         name == "min" || name == "max";
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryPtr> ParseStatement() {
+    ASSIGN_OR_RETURN(QueryPtr q, ParseQuery());
+    if (PeekSymbol(";")) Advance();
+    if (Peek().type != TokenType::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return q;
+  }
+
+ private:
+  // --- token plumbing -----------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool PeekKeyword(const std::string& kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kIdentifier && t.text == kw;
+  }
+  bool AcceptKeyword(const std::string& kw) {
+    if (!PeekKeyword(kw)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectKeyword(const std::string& kw) {
+    if (!AcceptKeyword(kw)) {
+      return Error("expected '" + kw + "'");
+    }
+    return Status::OK();
+  }
+  bool PeekSymbol(const std::string& sym, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.type == TokenType::kSymbol && t.text == sym;
+  }
+  bool AcceptSymbol(const std::string& sym) {
+    if (!PeekSymbol(sym)) return false;
+    Advance();
+    return true;
+  }
+  Status ExpectSymbol(const std::string& sym) {
+    if (!AcceptSymbol(sym)) return Error("expected '" + sym + "'");
+    return Status::OK();
+  }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    std::string got = t.type == TokenType::kEnd ? "end of input"
+                                                : "'" + t.raw + "'";
+    return Status::InvalidArgument("parse error at offset " +
+                                   std::to_string(t.position) + " (" + got +
+                                   "): " + message);
+  }
+
+  /// Identifier that is not a reserved keyword.
+  Result<std::string> ExpectIdentifier(const char* what) {
+    const Token& t = Peek();
+    if (t.type != TokenType::kIdentifier || Keywords().count(t.text) > 0) {
+      return Error(std::string("expected ") + what);
+    }
+    Advance();
+    return t.text;
+  }
+
+  // --- grammar ------------------------------------------------------------
+
+  Result<QueryPtr> ParseQuery() {
+    auto query = std::make_unique<Query>();
+    ASSIGN_OR_RETURN(auto first, ParseSelect());
+    query->branches.push_back(std::move(first));
+    while (PeekKeyword("union")) {
+      Advance();
+      RETURN_NOT_OK(ExpectKeyword("all"));  // multiset semantics only
+      ASSIGN_OR_RETURN(auto branch, ParseSelect());
+      query->branches.push_back(std::move(branch));
+    }
+    if (AcceptKeyword("order")) {
+      RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        OrderItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("desc")) {
+          item.ascending = false;
+        } else {
+          AcceptKeyword("asc");
+        }
+        query->order_by.push_back(std::move(item));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+    return query;
+  }
+
+  Result<std::unique_ptr<SelectStmt>> ParseSelect() {
+    RETURN_NOT_OK(ExpectKeyword("select"));
+    auto stmt = std::make_unique<SelectStmt>();
+
+    if (AcceptKeyword("gapply")) {
+      RETURN_NOT_OK(ExpectSymbol("("));
+      ASSIGN_OR_RETURN(stmt->gapply_pgq, ParseQuery());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      if (AcceptKeyword("as")) {
+        RETURN_NOT_OK(ExpectSymbol("("));
+        while (true) {
+          ASSIGN_OR_RETURN(std::string name,
+                           ExpectIdentifier("output column name"));
+          stmt->gapply_names.push_back(name);
+          if (!AcceptSymbol(",")) break;
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+      }
+    } else if (PeekSymbol("*")) {
+      Advance();
+      stmt->select_star = true;
+    } else {
+      while (true) {
+        SelectItem item;
+        ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (AcceptKeyword("as")) {
+          ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+        } else if (Peek().type == TokenType::kIdentifier &&
+                   Keywords().count(Peek().text) == 0) {
+          item.alias = Advance().text;
+        }
+        stmt->items.push_back(std::move(item));
+        if (!AcceptSymbol(",")) break;
+      }
+    }
+
+    RETURN_NOT_OK(ExpectKeyword("from"));
+    while (true) {
+      TableRef ref;
+      ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+      ref.alias = ref.table;
+      if (AcceptKeyword("as")) {
+        ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+      } else if (Peek().type == TokenType::kIdentifier &&
+                 Keywords().count(Peek().text) == 0) {
+        ref.alias = Advance().text;
+      }
+      stmt->from.push_back(std::move(ref));
+      if (!AcceptSymbol(",")) break;
+    }
+
+    if (AcceptKeyword("where")) {
+      ASSIGN_OR_RETURN(stmt->where, ParseExpr());
+    }
+    if (AcceptKeyword("group")) {
+      RETURN_NOT_OK(ExpectKeyword("by"));
+      while (true) {
+        ASSIGN_OR_RETURN(SqlExprPtr col, ParseExpr());
+        stmt->group_by.push_back(std::move(col));
+        if (!AcceptSymbol(",")) break;
+      }
+      // The paper's §3.1 extension: "group by cols : var".
+      if (AcceptSymbol(":")) {
+        ASSIGN_OR_RETURN(stmt->group_var,
+                         ExpectIdentifier("group variable name"));
+      }
+    }
+    if (AcceptKeyword("having")) {
+      ASSIGN_OR_RETURN(stmt->having, ParseExpr());
+    }
+    return stmt;
+  }
+
+  // Precedence climbing: or > and > not > comparison/is > add > mul > unary.
+  Result<SqlExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<SqlExprPtr> ParseOr() {
+    ASSIGN_OR_RETURN(SqlExprPtr left, ParseAnd());
+    while (AcceptKeyword("or")) {
+      ASSIGN_OR_RETURN(SqlExprPtr right, ParseAnd());
+      left = MakeBinary(BinaryOp::kOr, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAnd() {
+    ASSIGN_OR_RETURN(SqlExprPtr left, ParseNot());
+    while (AcceptKeyword("and")) {
+      ASSIGN_OR_RETURN(SqlExprPtr right, ParseNot());
+      left = MakeBinary(BinaryOp::kAnd, std::move(left), std::move(right));
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseNot() {
+    if (AcceptKeyword("not")) {
+      // `not exists (...)` folds into the exists node.
+      if (PeekKeyword("exists")) {
+        ASSIGN_OR_RETURN(SqlExprPtr e, ParseComparison());
+        if (e->kind == SqlExprKind::kExists) {
+          e->negated = !e->negated;
+          return e;
+        }
+        return MakeUnary(UnaryOp::kNot, std::move(e));
+      }
+      ASSIGN_OR_RETURN(SqlExprPtr child, ParseNot());
+      return MakeUnary(UnaryOp::kNot, std::move(child));
+    }
+    return ParseComparison();
+  }
+
+  Result<SqlExprPtr> ParseComparison() {
+    ASSIGN_OR_RETURN(SqlExprPtr left, ParseAdditive());
+    // IS [NOT] NULL.
+    if (AcceptKeyword("is")) {
+      const bool negated = AcceptKeyword("not");
+      RETURN_NOT_OK(ExpectKeyword("null"));
+      return MakeUnary(negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull,
+                       std::move(left));
+    }
+    struct CmpMap {
+      const char* sym;
+      BinaryOp op;
+    };
+    static constexpr CmpMap kCmps[] = {
+        {"=", BinaryOp::kEq},  {"<>", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const CmpMap& cmp : kCmps) {
+      if (AcceptSymbol(cmp.sym)) {
+        ASSIGN_OR_RETURN(SqlExprPtr right, ParseAdditive());
+        return MakeBinary(cmp.op, std::move(left), std::move(right));
+      }
+    }
+    return left;
+  }
+
+  Result<SqlExprPtr> ParseAdditive() {
+    ASSIGN_OR_RETURN(SqlExprPtr left, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+        left = MakeBinary(BinaryOp::kAdd, std::move(left), std::move(right));
+      } else if (AcceptSymbol("-")) {
+        ASSIGN_OR_RETURN(SqlExprPtr right, ParseMultiplicative());
+        left = MakeBinary(BinaryOp::kSubtract, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<SqlExprPtr> ParseMultiplicative() {
+    ASSIGN_OR_RETURN(SqlExprPtr left, ParseUnary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+        left = MakeBinary(BinaryOp::kMultiply, std::move(left),
+                          std::move(right));
+      } else if (AcceptSymbol("/")) {
+        ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+        left = MakeBinary(BinaryOp::kDivide, std::move(left),
+                          std::move(right));
+      } else if (AcceptSymbol("%")) {
+        ASSIGN_OR_RETURN(SqlExprPtr right, ParseUnary());
+        left = MakeBinary(BinaryOp::kModulo, std::move(left),
+                          std::move(right));
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<SqlExprPtr> ParseUnary() {
+    if (AcceptSymbol("-")) {
+      ASSIGN_OR_RETURN(SqlExprPtr child, ParseUnary());
+      return MakeUnary(UnaryOp::kNegate, std::move(child));
+    }
+    return ParsePrimary();
+  }
+
+  Result<SqlExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+
+    if (t.type == TokenType::kInteger) {
+      Advance();
+      return MakeLiteral(Value::Int(std::stoll(t.text)));
+    }
+    if (t.type == TokenType::kFloat) {
+      Advance();
+      return MakeLiteral(Value::Double(std::stod(t.text)));
+    }
+    if (t.type == TokenType::kString) {
+      Advance();
+      return MakeLiteral(Value::Str(t.text));
+    }
+    if (AcceptKeyword("null")) return MakeLiteral(Value::Null());
+    if (AcceptKeyword("true")) return MakeLiteral(Value::Bool(true));
+    if (AcceptKeyword("false")) return MakeLiteral(Value::Bool(false));
+
+    if (PeekKeyword("exists")) {
+      Advance();
+      RETURN_NOT_OK(ExpectSymbol("("));
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExprKind::kExists;
+      ASSIGN_OR_RETURN(e->subquery, ParseQuery());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return e;
+    }
+
+    if (PeekSymbol("(")) {
+      Advance();
+      if (PeekKeyword("select")) {
+        auto e = std::make_unique<SqlExpr>();
+        e->kind = SqlExprKind::kScalarSubquery;
+        ASSIGN_OR_RETURN(e->subquery, ParseQuery());
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        return e;
+      }
+      ASSIGN_OR_RETURN(SqlExprPtr inner, ParseExpr());
+      RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+
+    if (t.type == TokenType::kIdentifier) {
+      // Aggregate / function call.
+      if (IsAggregateName(t.text) && PeekSymbol("(", 1)) {
+        Advance();  // name
+        Advance();  // (
+        auto e = std::make_unique<SqlExpr>();
+        e->kind = SqlExprKind::kFuncCall;
+        e->func = t.text;
+        if (PeekSymbol("*")) {
+          Advance();
+          e->star_arg = true;
+        } else {
+          if (AcceptKeyword("distinct")) e->distinct_arg = true;
+          ASSIGN_OR_RETURN(SqlExprPtr arg, ParseExpr());
+          e->args.push_back(std::move(arg));
+        }
+        RETURN_NOT_OK(ExpectSymbol(")"));
+        return e;
+      }
+      if (Keywords().count(t.text) > 0) {
+        return Error("unexpected keyword in expression");
+      }
+      Advance();
+      auto e = std::make_unique<SqlExpr>();
+      e->kind = SqlExprKind::kColumnRef;
+      if (AcceptSymbol(".")) {
+        e->qualifier = t.text;
+        ASSIGN_OR_RETURN(e->name, ExpectIdentifier("column name"));
+      } else {
+        e->name = t.text;
+      }
+      return e;
+    }
+    return Error("expected an expression");
+  }
+
+  // --- node helpers -------------------------------------------------------
+
+  static SqlExprPtr MakeLiteral(Value v) {
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kLiteral;
+    e->literal = std::move(v);
+    return e;
+  }
+  static SqlExprPtr MakeUnary(UnaryOp op, SqlExprPtr child) {
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kUnary;
+    e->unary_op = op;
+    e->left = std::move(child);
+    return e;
+  }
+  static SqlExprPtr MakeBinary(BinaryOp op, SqlExprPtr l, SqlExprPtr r) {
+    auto e = std::make_unique<SqlExpr>();
+    e->kind = SqlExprKind::kBinary;
+    e->binary_op = op;
+    e->left = std::move(l);
+    e->right = std::move(r);
+    return e;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryPtr> Parse(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace gapply::sql

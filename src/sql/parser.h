@@ -1,0 +1,33 @@
+#ifndef GAPPLY_SQL_PARSER_H_
+#define GAPPLY_SQL_PARSER_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/sql/ast.h"
+
+namespace gapply::sql {
+
+/// Parses one SQL statement (an optional trailing ';' is allowed) into an
+/// AST. Grammar (case-insensitive keywords):
+///
+///   query       := select (UNION ALL select)* [ORDER BY order_list]
+///   select      := SELECT select_list FROM table_list
+///                  [WHERE expr]
+///                  [GROUP BY column_list [':' ident]]
+///                  [HAVING expr]
+///   select_list := '*' | gapply_item | item (',' item)*
+///   gapply_item := GAPPLY '(' query ')' [AS '(' ident_list ')']
+///   item        := expr [[AS] ident]
+///   table_list  := ident [ident] (',' ident [ident])*
+///
+/// Expressions support literals (integers, floats, strings, NULL, TRUE,
+/// FALSE), qualified column references, arithmetic, comparisons,
+/// AND/OR/NOT, IS [NOT] NULL, aggregate calls (COUNT/SUM/AVG/MIN/MAX with
+/// optional DISTINCT and COUNT(*)), scalar subqueries `(SELECT ...)`, and
+/// [NOT] EXISTS (SELECT ...).
+Result<QueryPtr> Parse(const std::string& sql);
+
+}  // namespace gapply::sql
+
+#endif  // GAPPLY_SQL_PARSER_H_

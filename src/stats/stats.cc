@@ -1,0 +1,112 @@
+#include "src/stats/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/common/string_util.h"
+#include "src/exec/filter_project_ops.h"
+
+namespace gapply {
+
+namespace {
+
+struct ValueHashFn {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+struct ValueEqFn {
+  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
+};
+
+}  // namespace
+
+double ColumnStats::FractionBelow(double v) const {
+  if (min.is_null() || max.is_null()) return 0.0;
+  const double lo = min.AsDouble();
+  const double hi = max.AsDouble();
+  if (v <= lo) return 0.0;
+  if (v > hi) return 1.0;
+  if (!histogram_bounds.empty()) {
+    // Count full buckets below v; interpolate within the straddling bucket.
+    const double per_bucket = 1.0 / static_cast<double>(
+                                        histogram_bounds.size());
+    double fraction = 0.0;
+    double prev = lo;
+    for (double bound : histogram_bounds) {
+      if (v > bound) {
+        fraction += per_bucket;
+        prev = bound;
+        continue;
+      }
+      if (bound > prev) {
+        fraction += per_bucket * (v - prev) / (bound - prev);
+      }
+      return std::min(1.0, fraction);
+    }
+    return 1.0;
+  }
+  if (hi == lo) return 0.0;
+  return (v - lo) / (hi - lo);
+}
+
+double ColumnStats::EqualitySelectivity() const {
+  if (ndv <= 0) return 1.0;
+  return 1.0 / static_cast<double>(ndv);
+}
+
+Status StatsManager::AnalyzeAll(const Catalog& catalog) {
+  for (const std::string& name : catalog.TableNames()) {
+    ASSIGN_OR_RETURN(Table * table, catalog.GetTable(name));
+    RETURN_NOT_OK(Analyze(*table));
+  }
+  return Status::OK();
+}
+
+Status StatsManager::Analyze(const Table& table) {
+  TableStats stats;
+  stats.row_count = static_cast<int64_t>(table.num_rows());
+  const size_t num_cols = table.schema().num_columns();
+  stats.columns.resize(num_cols);
+
+  for (size_t c = 0; c < num_cols; ++c) {
+    ColumnStats& col = stats.columns[c];
+    std::unordered_set<Value, ValueHashFn, ValueEqFn> distinct;
+    std::vector<double> numeric_values;
+    const bool numeric = IsNumeric(table.schema().column(c).type);
+    for (const Row& row : table.rows()) {
+      const Value& v = row[c];
+      if (v.is_null()) {
+        ++col.null_count;
+        continue;
+      }
+      distinct.insert(v);
+      if (col.min.is_null() || CompareForSort(v, col.min) < 0) {
+        col.min = v;
+      }
+      if (col.max.is_null() || CompareForSort(v, col.max) > 0) {
+        col.max = v;
+      }
+      if (numeric) numeric_values.push_back(v.AsDouble());
+    }
+    col.ndv = static_cast<int64_t>(distinct.size());
+    if (numeric && !numeric_values.empty() && histogram_buckets_ > 1) {
+      std::sort(numeric_values.begin(), numeric_values.end());
+      col.histogram_bounds.clear();
+      const size_t n = numeric_values.size();
+      for (int b = 1; b <= histogram_buckets_; ++b) {
+        size_t idx = n * static_cast<size_t>(b) /
+                         static_cast<size_t>(histogram_buckets_);
+        if (idx == 0) idx = 1;
+        col.histogram_bounds.push_back(numeric_values[idx - 1]);
+      }
+    }
+  }
+  stats_[ToLower(table.name())] = std::move(stats);
+  return Status::OK();
+}
+
+const TableStats* StatsManager::Get(const std::string& table) const {
+  auto it = stats_.find(ToLower(table));
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+}  // namespace gapply

@@ -1,0 +1,66 @@
+#ifndef GAPPLY_STATS_STATS_H_
+#define GAPPLY_STATS_STATS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+#include "src/storage/catalog.h"
+
+namespace gapply {
+
+/// \brief Per-column statistics gathered by ANALYZE.
+struct ColumnStats {
+  int64_t ndv = 0;         ///< number of distinct non-NULL values
+  int64_t null_count = 0;
+  Value min;               ///< NULL when the column has no non-NULL values
+  Value max;
+
+  /// Equi-depth histogram bucket upper bounds (numeric columns only; empty
+  /// otherwise). With k bounds, bucket i holds ~1/k of the rows and spans
+  /// (bounds[i-1], bounds[i]].
+  std::vector<double> histogram_bounds;
+
+  /// Fraction of non-NULL values strictly less than `v` (numeric only),
+  /// estimated from the histogram, falling back to min/max interpolation.
+  double FractionBelow(double v) const;
+
+  /// Estimated selectivity of `col = literal`.
+  double EqualitySelectivity() const;
+};
+
+/// \brief Statistics for one table.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // parallel to the table schema
+};
+
+/// \brief Registry of per-table statistics (the paper's §4.4 assumes the
+/// optimizer has "statistics on a single group" derivable from ordinary
+/// table statistics plus a uniformity assumption).
+class StatsManager {
+ public:
+  StatsManager() = default;
+
+  /// Scans every table in `catalog` and (re)builds its statistics.
+  Status AnalyzeAll(const Catalog& catalog);
+
+  /// Scans a single table.
+  Status Analyze(const Table& table);
+
+  /// Stats for `table`, or nullptr if never analyzed.
+  const TableStats* Get(const std::string& table) const;
+
+  /// Number of histogram buckets built per numeric column (default 32).
+  void set_histogram_buckets(int n) { histogram_buckets_ = n; }
+
+ private:
+  std::map<std::string, TableStats> stats_;  // key: lowercase table name
+  int histogram_buckets_ = 32;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_STATS_STATS_H_

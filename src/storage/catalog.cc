@@ -1,0 +1,108 @@
+#include "src/storage/catalog.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace gapply {
+
+namespace {
+
+// Lowercased multiset of names, for order-insensitive column-set comparison.
+std::vector<std::string> NormalizedSet(const std::vector<std::string>& names) {
+  std::vector<std::string> out;
+  out.reserve(names.size());
+  for (const std::string& n : names) out.push_back(ToLower(n));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+Status Catalog::AddTable(std::unique_ptr<Table> table) {
+  const std::string key = ToLower(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::InvalidArgument("table already exists: " + table->name());
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  Table* t = FindTable(name);
+  if (t == nullptr) return Status::NotFound("table not found: " + name);
+  return t;
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+Status Catalog::SetPrimaryKey(const std::string& table,
+                              std::vector<std::string> columns) {
+  ASSIGN_OR_RETURN(Table * t, GetTable(table));
+  if (columns.empty()) {
+    return Status::InvalidArgument("primary key must have columns");
+  }
+  for (const std::string& c : columns) {
+    RETURN_NOT_OK(t->schema().Resolve(c).status());
+  }
+  primary_keys_[ToLower(table)] = std::move(columns);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::PrimaryKey(const std::string& table) const {
+  auto it = primary_keys_.find(ToLower(table));
+  return it == primary_keys_.end() ? std::vector<std::string>{} : it->second;
+}
+
+Status Catalog::AddForeignKey(ForeignKey fk) {
+  if (fk.child_columns.empty() ||
+      fk.child_columns.size() != fk.parent_columns.size()) {
+    return Status::InvalidArgument(
+        "foreign key column lists must be nonempty and of equal length");
+  }
+  ASSIGN_OR_RETURN(Table * child, GetTable(fk.child_table));
+  ASSIGN_OR_RETURN(Table * parent, GetTable(fk.parent_table));
+  for (const std::string& c : fk.child_columns) {
+    RETURN_NOT_OK(child->schema().Resolve(c).status());
+  }
+  for (const std::string& c : fk.parent_columns) {
+    RETURN_NOT_OK(parent->schema().Resolve(c).status());
+  }
+  foreign_keys_.push_back(std::move(fk));
+  return Status::OK();
+}
+
+bool Catalog::IsForeignKeyJoin(
+    const std::string& child_table,
+    const std::vector<std::string>& child_columns,
+    const std::string& parent_table,
+    const std::vector<std::string>& parent_columns) const {
+  const std::vector<std::string> want_child = NormalizedSet(child_columns);
+  const std::vector<std::string> want_parent = NormalizedSet(parent_columns);
+  // The parent-side columns must be the parent's primary key: otherwise a
+  // left row could match several right rows and groups would be inflated.
+  const std::vector<std::string> pk =
+      NormalizedSet(PrimaryKey(parent_table));
+  if (pk.empty() || pk != want_parent) return false;
+  for (const ForeignKey& fk : foreign_keys_) {
+    if (!EqualsIgnoreCase(fk.child_table, child_table)) continue;
+    if (!EqualsIgnoreCase(fk.parent_table, parent_table)) continue;
+    if (NormalizedSet(fk.child_columns) == want_child &&
+        NormalizedSet(fk.parent_columns) == want_parent) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace gapply

@@ -1,0 +1,78 @@
+#ifndef GAPPLY_STORAGE_CATALOG_H_
+#define GAPPLY_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/table.h"
+
+namespace gapply {
+
+/// \brief Declared key/foreign-key constraint between two base tables.
+///
+/// The invariant-grouping rule (paper §4.3, Definition 2) may only move a
+/// GApply below joins that are *foreign-key joins*: the join condition
+/// equates a foreign key on the outer (left) side with the referenced key of
+/// the inner (right) side, so each left row matches exactly one right row and
+/// group contents are preserved under multiset semantics.
+struct ForeignKey {
+  std::string child_table;                 // referencing table
+  std::vector<std::string> child_columns;  // FK columns, in order
+  std::string parent_table;                // referenced table
+  std::vector<std::string> parent_columns; // referenced key columns, in order
+};
+
+/// \brief Name → table registry plus key constraint metadata and statistics
+/// hooks.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table. Fails if the name is taken.
+  Status AddTable(std::unique_ptr<Table> table);
+
+  /// Mutable lookup; NotFound if absent. Lookup is case-insensitive.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// Nullptr if absent (no-error probing).
+  Table* FindTable(const std::string& name) const;
+
+  std::vector<std::string> TableNames() const;
+
+  /// Declares the primary key of `table` (columns must exist).
+  Status SetPrimaryKey(const std::string& table,
+                       std::vector<std::string> columns);
+
+  /// Returns the declared primary key of `table`, or an empty list.
+  std::vector<std::string> PrimaryKey(const std::string& table) const;
+
+  /// Declares a foreign key (tables and columns must exist; child and parent
+  /// column lists must have equal, nonzero length).
+  Status AddForeignKey(ForeignKey fk);
+
+  const std::vector<ForeignKey>& foreign_keys() const { return foreign_keys_; }
+
+  /// True iff a declared FK equates exactly `child_columns` of `child_table`
+  /// (as a set) with the corresponding columns of `parent_table`, and the
+  /// parent columns are the parent's primary key. Used to certify
+  /// foreign-key joins for invariant grouping.
+  bool IsForeignKeyJoin(const std::string& child_table,
+                        const std::vector<std::string>& child_columns,
+                        const std::string& parent_table,
+                        const std::vector<std::string>& parent_columns) const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;  // key: lowercase
+  std::map<std::string, std::vector<std::string>> primary_keys_;
+  std::vector<ForeignKey> foreign_keys_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_STORAGE_CATALOG_H_

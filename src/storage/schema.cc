@@ -1,0 +1,78 @@
+#include "src/storage/schema.h"
+
+#include "src/common/string_util.h"
+
+namespace gapply {
+
+std::string Column::FullName() const {
+  if (qualifier.empty()) return name;
+  return qualifier + "." + name;
+}
+
+Result<int> Schema::Resolve(const std::string& name,
+                            const std::string& qualifier) const {
+  int found = -1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& c = columns_[i];
+    if (!EqualsIgnoreCase(c.name, name)) continue;
+    if (!qualifier.empty() && !EqualsIgnoreCase(c.qualifier, qualifier)) {
+      continue;
+    }
+    if (found >= 0) {
+      return Status::InvalidArgument("ambiguous column reference: " +
+                                     (qualifier.empty()
+                                          ? name
+                                          : qualifier + "." + name));
+    }
+    found = static_cast<int>(i);
+  }
+  if (found < 0) {
+    return Status::NotFound("column not found: " +
+                            (qualifier.empty() ? name
+                                               : qualifier + "." + name));
+  }
+  return found;
+}
+
+int Schema::TryResolve(const std::string& name,
+                       const std::string& qualifier) const {
+  Result<int> r = Resolve(name, qualifier);
+  return r.ok() ? r.value() : -1;
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::vector<Column> cols = left.columns_;
+  cols.insert(cols.end(), right.columns_.begin(), right.columns_.end());
+  return Schema(std::move(cols));
+}
+
+Schema Schema::WithQualifier(const std::string& qualifier) const {
+  std::vector<Column> cols = columns_;
+  for (Column& c : cols) c.qualifier = qualifier;
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].FullName();
+    out += ":";
+    out += TypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+bool Schema::EquivalentTo(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (!EqualsIgnoreCase(columns_[i].name, other.columns_[i].name)) {
+      return false;
+    }
+    if (columns_[i].type != other.columns_[i].type) return false;
+  }
+  return true;
+}
+
+}  // namespace gapply

@@ -1,0 +1,73 @@
+#ifndef GAPPLY_STORAGE_SCHEMA_H_
+#define GAPPLY_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+
+namespace gapply {
+
+/// \brief A named, typed output column.
+///
+/// `qualifier` is the table alias (or derived-relation name) the column came
+/// from; it participates in name resolution (`t.col` vs `col`) and in column
+/// provenance tracking for the invariant-grouping rule.
+struct Column {
+  std::string name;
+  TypeId type = TypeId::kNull;
+  std::string qualifier;
+
+  Column() = default;
+  Column(std::string name_in, TypeId type_in, std::string qualifier_in = "")
+      : name(std::move(name_in)),
+        type(type_in),
+        qualifier(std::move(qualifier_in)) {}
+
+  /// "qualifier.name" or just "name" when unqualified.
+  std::string FullName() const;
+};
+
+/// \brief An ordered list of columns describing rows flowing between
+/// operators.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  void AddColumn(Column column) { columns_.push_back(std::move(column)); }
+
+  /// Resolves a (possibly qualified) column name to its index.
+  /// Name matching is case-insensitive. Errors: NotFound if no match,
+  /// InvalidArgument if the reference is ambiguous.
+  Result<int> Resolve(const std::string& name,
+                      const std::string& qualifier = "") const;
+
+  /// Like Resolve but returns -1 instead of an error (no-throw probing).
+  int TryResolve(const std::string& name,
+                 const std::string& qualifier = "") const;
+
+  /// Concatenation (join output schema: left columns then right columns).
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Copy with every column's qualifier replaced (derived-table aliasing).
+  Schema WithQualifier(const std::string& qualifier) const;
+
+  /// "(q1.name1:type1, name2:type2, ...)"
+  std::string ToString() const;
+
+  /// Same column names and types in the same order (qualifiers ignored).
+  bool EquivalentTo(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_STORAGE_SCHEMA_H_

@@ -1,0 +1,35 @@
+#include "src/storage/table.h"
+
+namespace gapply {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " does not match table " +
+        name_ + " arity " + std::to_string(schema_.num_columns()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    Value& v = row[i];
+    if (v.is_null()) continue;
+    const TypeId want = schema_.column(i).type;
+    if (v.type() == want) continue;
+    if (want == TypeId::kDouble && v.type() == TypeId::kInt64) {
+      v = Value::Double(static_cast<double>(v.int_val()));
+      continue;
+    }
+    return Status::TypeError("column " + schema_.column(i).name +
+                             " expects " + TypeName(want) + ", got " +
+                             TypeName(v.type()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::AppendAll(std::vector<Row> rows) {
+  for (Row& row : rows) {
+    RETURN_NOT_OK(Append(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace gapply

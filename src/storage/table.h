@@ -1,0 +1,43 @@
+#ifndef GAPPLY_STORAGE_TABLE_H_
+#define GAPPLY_STORAGE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/value.h"
+#include "src/storage/schema.h"
+
+namespace gapply {
+
+/// \brief An in-memory row-store base table.
+///
+/// Rows are stored in insertion order; the engine imposes no physical order
+/// (the paper assumes an unordered model). Type checking happens on append.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Appends one row after checking arity and per-column type compatibility
+  /// (NULL is compatible with every column type; int64 values are accepted
+  /// into double columns and widened).
+  Status Append(Row row);
+
+  /// Bulk append; stops at the first bad row.
+  Status AppendAll(std::vector<Row> rows);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_STORAGE_TABLE_H_

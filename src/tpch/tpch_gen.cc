@@ -1,0 +1,168 @@
+#include "src/tpch/tpch_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace gapply::tpch {
+
+namespace {
+
+constexpr const char* kRegionNames[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                                        "MIDDLE EAST"};
+
+constexpr const char* kNationNames[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN",
+    "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+
+// Region of each nation, aligned with kNationNames (TPC-H Appendix values).
+constexpr int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                                 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+std::string PaddedKeyName(const char* prefix, int64_t key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%09lld", static_cast<long long>(key));
+  return std::string(prefix) + buf;
+}
+
+Status BuildRegion(Catalog* catalog) {
+  Schema schema({{"r_regionkey", TypeId::kInt64, "region"},
+                 {"r_name", TypeId::kString, "region"}});
+  auto table = std::make_unique<Table>("region", std::move(schema));
+  for (int64_t i = 0; i < 5; ++i) {
+    RETURN_NOT_OK(
+        table->Append({Value::Int(i), Value::Str(kRegionNames[i])}));
+  }
+  RETURN_NOT_OK(catalog->AddTable(std::move(table)));
+  return catalog->SetPrimaryKey("region", {"r_regionkey"});
+}
+
+Status BuildNation(Catalog* catalog) {
+  Schema schema({{"n_nationkey", TypeId::kInt64, "nation"},
+                 {"n_name", TypeId::kString, "nation"},
+                 {"n_regionkey", TypeId::kInt64, "nation"}});
+  auto table = std::make_unique<Table>("nation", std::move(schema));
+  for (int64_t i = 0; i < 25; ++i) {
+    RETURN_NOT_OK(table->Append({Value::Int(i), Value::Str(kNationNames[i]),
+                                 Value::Int(kNationRegion[i])}));
+  }
+  RETURN_NOT_OK(catalog->AddTable(std::move(table)));
+  RETURN_NOT_OK(catalog->SetPrimaryKey("nation", {"n_nationkey"}));
+  return catalog->AddForeignKey(
+      {"nation", {"n_regionkey"}, "region", {"r_regionkey"}});
+}
+
+Status BuildSupplier(const TpchConfig& config, Rng* rng, Catalog* catalog) {
+  Schema schema({{"s_suppkey", TypeId::kInt64, "supplier"},
+                 {"s_name", TypeId::kString, "supplier"},
+                 {"s_nationkey", TypeId::kInt64, "supplier"},
+                 {"s_acctbal", TypeId::kDouble, "supplier"}});
+  auto table = std::make_unique<Table>("supplier", std::move(schema));
+  const int64_t n = config.NumSuppliers();
+  for (int64_t key = 1; key <= n; ++key) {
+    RETURN_NOT_OK(table->Append(
+        {Value::Int(key), Value::Str(PaddedKeyName("Supplier#", key)),
+         Value::Int(rng->UniformInt(0, 24)),
+         Value::Double(rng->UniformDouble(-999.99, 9999.99))}));
+  }
+  RETURN_NOT_OK(catalog->AddTable(std::move(table)));
+  RETURN_NOT_OK(catalog->SetPrimaryKey("supplier", {"s_suppkey"}));
+  return catalog->AddForeignKey(
+      {"supplier", {"s_nationkey"}, "nation", {"n_nationkey"}});
+}
+
+Status BuildPart(const TpchConfig& config, Rng* rng, Catalog* catalog) {
+  Schema schema({{"p_partkey", TypeId::kInt64, "part"},
+                 {"p_name", TypeId::kString, "part"},
+                 {"p_mfgr", TypeId::kString, "part"},
+                 {"p_brand", TypeId::kString, "part"},
+                 {"p_size", TypeId::kInt64, "part"},
+                 {"p_retailprice", TypeId::kDouble, "part"}});
+  auto table = std::make_unique<Table>("part", std::move(schema));
+  const int64_t n = config.NumParts();
+  for (int64_t key = 1; key <= n; ++key) {
+    const int64_t mfgr = rng->UniformInt(1, 5);
+    const int64_t brand = mfgr * 10 + rng->UniformInt(1, 5);
+    RETURN_NOT_OK(table->Append(
+        {Value::Int(key),
+         Value::Str(rng->RandomWord(6) + " " + rng->RandomWord(7)),
+         Value::Str("Manufacturer#" + std::to_string(mfgr)),
+         Value::Str("Brand#" + std::to_string(brand)),
+         Value::Int(rng->UniformInt(1, 50)),
+         Value::Double(RetailPrice(key))}));
+  }
+  RETURN_NOT_OK(catalog->AddTable(std::move(table)));
+  return catalog->SetPrimaryKey("part", {"p_partkey"});
+}
+
+Status BuildPartsupp(const TpchConfig& config, Rng* rng, Catalog* catalog) {
+  Schema schema({{"ps_partkey", TypeId::kInt64, "partsupp"},
+                 {"ps_suppkey", TypeId::kInt64, "partsupp"},
+                 {"ps_availqty", TypeId::kInt64, "partsupp"},
+                 {"ps_supplycost", TypeId::kDouble, "partsupp"}});
+  auto table = std::make_unique<Table>("partsupp", std::move(schema));
+  const int64_t parts = config.NumParts();
+  const int64_t suppliers = config.NumSuppliers();
+  const int64_t per_part = config.SuppliersPerPart();
+  std::vector<bool> used(static_cast<size_t>(suppliers) + 1);
+  for (int64_t pk = 1; pk <= parts; ++pk) {
+    std::vector<int64_t> chosen;
+    for (int64_t j = 0; j < per_part; ++j) {
+      // TPC-H supplier spreading formula. It is collision-free at real TPC-H
+      // scale but not for the tiny supplier counts used in tests, so probe
+      // linearly past any duplicate within this part.
+      int64_t sk =
+          (pk + j * (suppliers / per_part + (pk - 1) / suppliers)) %
+              suppliers +
+          1;
+      while (used[static_cast<size_t>(sk)]) sk = sk % suppliers + 1;
+      used[static_cast<size_t>(sk)] = true;
+      chosen.push_back(sk);
+      RETURN_NOT_OK(table->Append(
+          {Value::Int(pk), Value::Int(sk),
+           Value::Int(rng->UniformInt(1, 9999)),
+           Value::Double(rng->UniformDouble(1.0, 1000.0))}));
+    }
+    for (int64_t sk : chosen) used[static_cast<size_t>(sk)] = false;
+  }
+  RETURN_NOT_OK(catalog->AddTable(std::move(table)));
+  RETURN_NOT_OK(
+      catalog->SetPrimaryKey("partsupp", {"ps_partkey", "ps_suppkey"}));
+  RETURN_NOT_OK(catalog->AddForeignKey(
+      {"partsupp", {"ps_partkey"}, "part", {"p_partkey"}}));
+  return catalog->AddForeignKey(
+      {"partsupp", {"ps_suppkey"}, "supplier", {"s_suppkey"}});
+}
+
+}  // namespace
+
+int64_t TpchConfig::NumSuppliers() const {
+  return std::max<int64_t>(10, static_cast<int64_t>(10000 * scale_factor));
+}
+
+int64_t TpchConfig::NumParts() const {
+  return std::max<int64_t>(40, static_cast<int64_t>(200000 * scale_factor));
+}
+
+double RetailPrice(int64_t partkey) {
+  return (90000.0 + static_cast<double>((partkey / 10) % 20001) +
+          100.0 * static_cast<double>(partkey % 1000)) /
+         100.0;
+}
+
+Status Generate(const TpchConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+  RETURN_NOT_OK(BuildRegion(catalog));
+  RETURN_NOT_OK(BuildNation(catalog));
+  RETURN_NOT_OK(BuildSupplier(config, &rng, catalog));
+  RETURN_NOT_OK(BuildPart(config, &rng, catalog));
+  return BuildPartsupp(config, &rng, catalog);
+}
+
+}  // namespace gapply::tpch

@@ -1,0 +1,44 @@
+#ifndef GAPPLY_TPCH_TPCH_GEN_H_
+#define GAPPLY_TPCH_TPCH_GEN_H_
+
+#include <cstdint>
+
+#include "src/common/status.h"
+#include "src/storage/catalog.h"
+
+namespace gapply::tpch {
+
+/// \brief Sizing and seeding knobs for the synthetic TPC-H subset.
+///
+/// The paper's experiments use TPC-H at 5 GB on a 2003-era server; the
+/// benches here run the same query shapes at laptop scale. Row counts follow
+/// the TPC-H ratios (supplier : part : partsupp = 10k : 200k : 800k per
+/// scale factor unit), scaled by `scale_factor` and floored to keep tiny
+/// configurations meaningful.
+struct TpchConfig {
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+
+  /// Number of suppliers for this configuration (>= 10).
+  int64_t NumSuppliers() const;
+  /// Number of parts for this configuration (>= 40).
+  int64_t NumParts() const;
+  /// Suppliers per part (TPC-H uses 4).
+  int64_t SuppliersPerPart() const { return 4; }
+};
+
+/// Populates `catalog` with region, nation, supplier, part and partsupp
+/// tables, their primary keys, and the foreign keys
+/// partsupp→part, partsupp→supplier, supplier→nation, nation→region.
+///
+/// Generation is fully deterministic in `config.seed`.
+Status Generate(const TpchConfig& config, Catalog* catalog);
+
+/// TPC-H's p_retailprice formula: (90000 + ((key/10) mod 20001) +
+/// 100*(key mod 1000)) / 100. Exposed so tests and benches can compute
+/// expected prices and selectivity cutoffs analytically.
+double RetailPrice(int64_t partkey);
+
+}  // namespace gapply::tpch
+
+#endif  // GAPPLY_TPCH_TPCH_GEN_H_

@@ -1,0 +1,123 @@
+#include "src/xml/tagger.h"
+
+#include <algorithm>
+
+namespace gapply::xml {
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+Tagger::Tagger(const SouqPlan& plan,
+               std::function<void(const std::string&)> sink)
+    : nodes_(plan.nodes), sink_(std::move(sink)) {}
+
+void Tagger::Indent(size_t depth) {
+  Emit(std::string(2 * (depth + 1), ' '));
+}
+
+void Tagger::Begin(const std::string& root_element) {
+  root_element_ = root_element;
+  Emit("<" + root_element_ + ">\n");
+  begun_ = true;
+}
+
+void Tagger::CloseTo(size_t keep) {
+  while (open_.size() > keep) {
+    const OpenElement& top = open_.back();
+    Indent(open_.size() - 1);
+    Emit("</" + nodes_[static_cast<size_t>(top.node_id)].element_name +
+         ">\n");
+    open_.pop_back();
+  }
+}
+
+Status Tagger::Feed(const Row& row) {
+  if (!begun_) return Status::Internal("Tagger::Begin not called");
+  if (row.empty() || row[0].is_null()) {
+    return Status::InvalidArgument("row without node id");
+  }
+  const int node_id = static_cast<int>(row[0].int_val());
+  if (node_id < 0 || static_cast<size_t>(node_id) >= nodes_.size()) {
+    return Status::InvalidArgument("unknown node id in tagged stream");
+  }
+  // The element's ancestor chain, top-down.
+  std::vector<int> chain;
+  for (int n = node_id; n >= 0; n = nodes_[static_cast<size_t>(n)].parent) {
+    chain.push_back(n);
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Keep the open elements that match this row's ancestry (same node id and
+  // same key values); close the rest.
+  size_t keep = 0;
+  while (keep < open_.size() && keep + 1 < chain.size()) {
+    const OpenElement& oe = open_[keep];
+    if (oe.node_id != chain[keep]) break;
+    const SouqNodeMeta& ancestor =
+        nodes_[static_cast<size_t>(chain[keep])];
+    bool same = true;
+    for (size_t k = 0; k < ancestor.key_columns.size(); ++k) {
+      const Value& v =
+          row[static_cast<size_t>(ancestor.key_columns[k])];
+      if (!v.Equals(oe.keys[k])) {
+        same = false;
+        break;
+      }
+    }
+    if (!same) break;
+    ++keep;
+  }
+  CloseTo(keep);
+
+  // Open any missing ancestors (normally none: parents' rows sort first)
+  // and then this element.
+  for (size_t d = keep; d < chain.size(); ++d) {
+    const SouqNodeMeta& m = nodes_[static_cast<size_t>(chain[d])];
+    OpenElement oe;
+    oe.node_id = chain[d];
+    for (int kc : m.key_columns) {
+      oe.keys.push_back(row[static_cast<size_t>(kc)]);
+    }
+    Indent(open_.size());
+    Emit("<" + m.element_name + ">\n");
+    open_.push_back(std::move(oe));
+    if (chain[d] == node_id) {
+      for (size_t p = 0; p < m.payload_columns.size(); ++p) {
+        const Value& v =
+            row[static_cast<size_t>(m.payload_columns[p])];
+        Indent(open_.size());
+        Emit("<" + m.payload_names[p] + ">" + EscapeXml(v.ToString()) +
+             "</" + m.payload_names[p] + ">\n");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Tagger::Finish() {
+  if (!begun_) return Status::Internal("Tagger::Begin not called");
+  CloseTo(0);
+  Emit("</" + root_element_ + ">\n");
+  begun_ = false;
+  return Status::OK();
+}
+
+}  // namespace gapply::xml

@@ -1,0 +1,57 @@
+#ifndef GAPPLY_XML_TAGGER_H_
+#define GAPPLY_XML_TAGGER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+#include "src/xml/view.h"
+
+namespace gapply::xml {
+
+/// \brief Constant-space tagger (paper §2): consumes the sorted-outer-union
+/// row stream one tuple at a time and emits XML text.
+///
+/// Space is bounded by the depth of the view tree (the stack of currently
+/// open elements), never by the document size — which is exactly why the
+/// input must arrive clustered by element (the paper's reason for the ORDER
+/// BY / GApply clustering guarantee).
+class Tagger {
+ public:
+  /// `sink` receives output fragments as they are produced.
+  Tagger(const SouqPlan& plan, std::function<void(const std::string&)> sink);
+
+  /// Starts the document (<root> tag).
+  void Begin(const std::string& root_element);
+
+  /// Consumes one clustered row.
+  Status Feed(const Row& row);
+
+  /// Closes all open elements and the root.
+  Status Finish();
+
+ private:
+  struct OpenElement {
+    int node_id;
+    std::vector<Value> keys;
+  };
+
+  void Emit(const std::string& text) { sink_(text); }
+  void Indent(size_t depth);
+  void CloseTo(size_t keep);
+
+  std::vector<SouqNodeMeta> nodes_;
+  std::function<void(const std::string&)> sink_;
+  std::vector<OpenElement> open_;
+  std::string root_element_;
+  bool begun_ = false;
+};
+
+/// Escapes &, <, > for XML text content.
+std::string EscapeXml(const std::string& text);
+
+}  // namespace gapply::xml
+
+#endif  // GAPPLY_XML_TAGGER_H_

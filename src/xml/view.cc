@@ -1,0 +1,218 @@
+#include "src/xml/view.h"
+
+#include <algorithm>
+
+#include "src/plan/builder.h"
+
+namespace gapply::xml {
+
+namespace {
+
+struct FlatNode {
+  const ViewNode* node;
+  int id;
+  int parent;  // FlatNode id, -1 for the top node
+  int depth;
+};
+
+void Flatten(const ViewNode& node, int parent, int depth,
+             std::vector<FlatNode>* out) {
+  const int id = static_cast<int>(out->size());
+  out->push_back({&node, id, parent, depth});
+  for (const auto& child : node.children) {
+    Flatten(*child, id, depth + 1, out);
+  }
+}
+
+}  // namespace
+
+Result<SouqPlan> BuildSortedOuterUnion(const XmlView& view) {
+  if (view.top == nullptr || view.top->query == nullptr) {
+    return Status::InvalidArgument("view has no top node");
+  }
+  std::vector<FlatNode> nodes;
+  Flatten(*view.top, -1, 0, &nodes);
+
+  // Key slot layout: one block of slots per depth, wide enough for the
+  // widest element key at that depth.
+  int max_depth = 0;
+  for (const FlatNode& n : nodes) max_depth = std::max(max_depth, n.depth);
+  std::vector<int> depth_width(static_cast<size_t>(max_depth) + 1, 0);
+  for (const FlatNode& n : nodes) {
+    depth_width[static_cast<size_t>(n.depth)] =
+        std::max(depth_width[static_cast<size_t>(n.depth)],
+                 static_cast<int>(n.node->element_keys.size()));
+  }
+  std::vector<int> depth_offset(depth_width.size(), 0);
+  int num_key_slots = 0;
+  for (size_t d = 0; d < depth_width.size(); ++d) {
+    depth_offset[d] = num_key_slots;
+    num_key_slots += depth_width[d];
+  }
+
+  // Payload layout: a private slot range per node type.
+  std::vector<int> payload_offset(nodes.size(), 0);
+  int num_payload = 0;
+  for (const FlatNode& n : nodes) {
+    payload_offset[static_cast<size_t>(n.id)] = num_payload;
+    num_payload += static_cast<int>(n.node->content_columns.size());
+  }
+
+  // Per node: the "full" plan joining the path from the top node down, the
+  // offset of the node's own query columns within it, and the full-schema
+  // indexes of each ancestor's (and its own) element keys.
+  struct Built {
+    LogicalOpPtr full;
+    int own_offset = 0;
+    // per depth 0..n.depth: element key indexes into `full`'s schema
+    std::vector<std::vector<int>> path_keys;
+  };
+  std::vector<Built> built(nodes.size());
+
+  for (const FlatNode& n : nodes) {
+    Built& b = built[static_cast<size_t>(n.id)];
+    if (n.parent < 0) {
+      b.full = n.node->query->Clone();
+      b.own_offset = 0;
+    } else {
+      const Built& pb = built[static_cast<size_t>(n.parent)];
+      const Schema& pschema = nodes[static_cast<size_t>(n.parent)]
+                                  .node->query->output_schema();
+      const Schema& cschema = n.node->query->output_schema();
+      if (n.node->parent_keys.size() != n.node->child_keys.size() ||
+          n.node->parent_keys.empty()) {
+        return Status::InvalidArgument(
+            "child view node needs matching parent/child binding keys");
+      }
+      std::vector<int> lk;
+      std::vector<int> rk;
+      for (size_t i = 0; i < n.node->parent_keys.size(); ++i) {
+        ASSIGN_OR_RETURN(int pi, pschema.Resolve(n.node->parent_keys[i]));
+        lk.push_back(pb.own_offset + pi);
+        ASSIGN_OR_RETURN(int ci, cschema.Resolve(n.node->child_keys[i]));
+        rk.push_back(ci);
+      }
+      b.own_offset = static_cast<int>(pb.full->output_schema().num_columns());
+      b.full = std::make_unique<LogicalJoin>(pb.full->Clone(),
+                                             n.node->query->Clone(),
+                                             std::move(lk), std::move(rk));
+      b.path_keys = pb.path_keys;
+    }
+    // Own element keys.
+    std::vector<int> own_keys;
+    for (const std::string& k : n.node->element_keys) {
+      ASSIGN_OR_RETURN(int idx, n.node->query->output_schema().Resolve(k));
+      own_keys.push_back(b.own_offset + idx);
+    }
+    b.path_keys.push_back(std::move(own_keys));
+  }
+
+  // Build one projection branch per node and union them.
+  SouqPlan out;
+  out.num_key_slots = num_key_slots;
+  std::vector<LogicalOpPtr> branches;
+  for (const FlatNode& n : nodes) {
+    const Built& b = built[static_cast<size_t>(n.id)];
+    const Schema& full_schema = b.full->output_schema();
+    std::vector<ExprPtr> exprs;
+    std::vector<std::string> names;
+
+    exprs.push_back(Lit(static_cast<int64_t>(n.id)));
+    names.push_back("node_id");
+
+    SouqNodeMeta meta;
+    meta.element_name = n.node->element_name;
+    meta.parent = n.parent;
+    meta.depth = n.depth;
+
+    // Key slots, depth-major; this node fills its path's keys, NULL rest.
+    for (size_t d = 0; d < depth_width.size(); ++d) {
+      for (int slot = 0; slot < depth_width[d]; ++slot) {
+        names.push_back("k" + std::to_string(d) + "_" + std::to_string(slot));
+        if (d < b.path_keys.size() &&
+            slot < static_cast<int>(b.path_keys[d].size())) {
+          const int full_idx = b.path_keys[d][static_cast<size_t>(slot)];
+          exprs.push_back(Col(full_schema, full_idx));
+          if (static_cast<int>(d) == n.depth) {
+            meta.key_columns.push_back(1 + depth_offset[d] + slot);
+          }
+        } else {
+          exprs.push_back(Lit(Value::Null()));
+        }
+      }
+    }
+
+    // Payload slots.
+    int payload_idx = 0;
+    for (const FlatNode& m : nodes) {
+      for (size_t c = 0; c < m.node->content_columns.size(); ++c) {
+        const std::string& col_name = m.node->content_columns[c];
+        names.push_back(m.node->element_name + "_" + col_name);
+        if (m.id == n.id) {
+          ASSIGN_OR_RETURN(int idx,
+                           n.node->query->output_schema().Resolve(col_name));
+          exprs.push_back(Col(full_schema, b.own_offset + idx));
+          meta.payload_columns.push_back(1 + num_key_slots + payload_idx);
+          meta.payload_names.push_back(col_name);
+        } else {
+          exprs.push_back(Lit(Value::Null()));
+        }
+        ++payload_idx;
+      }
+    }
+
+    branches.push_back(std::make_unique<LogicalProject>(
+        b.full->Clone(), std::move(exprs), std::move(names)));
+    out.nodes.push_back(std::move(meta));
+  }
+
+  LogicalOpPtr unioned;
+  if (branches.size() == 1) {
+    unioned = std::move(branches[0]);
+  } else {
+    ASSIGN_OR_RETURN(unioned, LogicalUnionAll::Make(std::move(branches)));
+  }
+
+  // Cluster: key slots (NULLs sort first, putting parents before their
+  // children), then node_id to separate sibling element types.
+  std::vector<SortKey> sort;
+  for (int s = 0; s < num_key_slots; ++s) sort.push_back({1 + s, true});
+  sort.push_back({0, true});
+  out.plan = std::make_unique<LogicalOrderBy>(std::move(unioned),
+                                              std::move(sort));
+  return out;
+}
+
+Result<XmlView> MakeSupplierPartsView(const Catalog& catalog) {
+  XmlView view;
+  view.root_element = "suppliers";
+
+  auto supplier = std::make_unique<ViewNode>();
+  supplier->element_name = "supplier";
+  ASSIGN_OR_RETURN(supplier->query,
+                   PlanBuilder::Scan(catalog, "supplier")
+                       .Project({"s_suppkey", "s_name"})
+                       .Build());
+  supplier->element_keys = {"s_suppkey"};
+  supplier->content_columns = {"s_suppkey", "s_name"};
+
+  auto part = std::make_unique<ViewNode>();
+  part->element_name = "part";
+  ASSIGN_OR_RETURN(
+      part->query,
+      PlanBuilder::Scan(catalog, "partsupp")
+          .Join(PlanBuilder::Scan(catalog, "part"), {"ps_partkey"},
+                {"p_partkey"})
+          .Project({"ps_suppkey", "p_partkey", "p_name", "p_retailprice"})
+          .Build());
+  part->parent_keys = {"s_suppkey"};
+  part->child_keys = {"ps_suppkey"};
+  part->element_keys = {"p_partkey"};
+  part->content_columns = {"p_name", "p_retailprice"};
+
+  supplier->children.push_back(std::move(part));
+  view.top = std::move(supplier);
+  return view;
+}
+
+}  // namespace gapply::xml

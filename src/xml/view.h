@@ -1,0 +1,78 @@
+#ifndef GAPPLY_XML_VIEW_H_
+#define GAPPLY_XML_VIEW_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/plan/logical_plan.h"
+#include "src/storage/catalog.h"
+
+namespace gapply::xml {
+
+/// \brief One element type of an XML view of relational data, following the
+/// schema-tree representation of XPeranto (paper's Figure 1): each node has
+/// an associated query, children are bound to parents through join columns
+/// (the paper's binding variable $s), and selected columns render as
+/// sub-elements.
+struct ViewNode {
+  std::string element_name;  // tag emitted per row, e.g. "supplier"
+
+  /// Rows of this node. For child nodes, the query's output must include
+  /// `child_keys` so rows can be bound to their parent element.
+  LogicalOpPtr query;
+
+  /// Parent binding: parent_keys name columns of the parent node's query
+  /// output; child_keys name columns of this node's query output. Empty for
+  /// the node directly under the document root.
+  std::vector<std::string> parent_keys;
+  std::vector<std::string> child_keys;
+
+  /// Columns (of `query`'s output) identifying one element instance — the
+  /// clustering key for this level.
+  std::vector<std::string> element_keys;
+
+  /// Columns rendered as sub-elements, tagged with the column name.
+  std::vector<std::string> content_columns;
+
+  std::vector<std::unique_ptr<ViewNode>> children;
+};
+
+/// \brief A whole view: a document root tag plus the top element node.
+struct XmlView {
+  std::string root_element;  // e.g. "suppliers"
+  std::unique_ptr<ViewNode> top;
+};
+
+/// \brief Tagger-facing description of the sorted-outer-union output.
+struct SouqNodeMeta {
+  std::string element_name;
+  int parent = -1;                 // node id of the parent element (-1 = root)
+  int depth = 0;                   // 0 = directly under the document root
+  std::vector<int> key_columns;    // this element's key slots in the output
+  std::vector<int> payload_columns;
+  std::vector<std::string> payload_names;
+};
+
+/// \brief The single "sorted outer union" plan (paper §2 / XPeranto [17]):
+/// one row per element of the document, schema
+///   (node_id, key slots per depth, payload slots per node type),
+/// ordered by key slots (NULLs first) then node_id — exactly the clustering
+/// a constant-space tagger needs.
+struct SouqPlan {
+  LogicalOpPtr plan;
+  std::vector<SouqNodeMeta> nodes;  // indexed by node_id
+  int num_key_slots = 0;
+};
+
+/// Builds the sorted-outer-union plan for `view`.
+Result<SouqPlan> BuildSortedOuterUnion(const XmlView& view);
+
+/// Builds the Figure-1 view over the generated TPC-H catalog: supplier
+/// elements (s_suppkey, s_name) containing part elements
+/// (p_name, p_retailprice) joined through partsupp.
+Result<XmlView> MakeSupplierPartsView(const Catalog& catalog);
+
+}  // namespace gapply::xml
+
+#endif  // GAPPLY_XML_VIEW_H_

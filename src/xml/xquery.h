@@ -1,0 +1,78 @@
+#ifndef GAPPLY_XML_XQUERY_H_
+#define GAPPLY_XML_XQUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/common/value.h"
+#include "src/expr/aggregate.h"
+#include "src/expr/expr.h"
+
+namespace gapply::xml {
+
+/// \brief SQL-level description of a two-level XML view (parent elements
+/// each containing the child rows that share `parent_key`) — the shape of
+/// the paper's Figure 1 supplier/part view.
+struct FlwrViewBinding {
+  std::string child_from;   ///< e.g. "partsupp, part"
+  std::string child_where;  ///< join conditions, e.g. "ps_partkey = p_partkey"
+  std::string parent_key;   ///< element grouping column, e.g. "ps_suppkey"
+  /// Table (from child_from) that carries parent_key; aliased when the
+  /// outer-union baseline needs a correlated subquery (§2's "partsupp ps1").
+  std::string key_table = "";
+};
+
+/// The XQuery WHERE forms the paper uses (§4.2).
+enum class FlwrCondKind {
+  kNone,
+  kSomeChild,   ///< Where some $v/child satisfies column <op> literal
+  kAggCompare,  ///< Where agg($v/child/column) <op> literal
+};
+
+struct FlwrWhere {
+  FlwrCondKind kind = FlwrCondKind::kNone;
+  std::string column;
+  BinaryOp op = BinaryOp::kGt;
+  Value literal;
+  AggKind agg = AggKind::kAvg;  // kAggCompare only
+};
+
+/// One item of the RETURN clause.
+struct FlwrReturnItem {
+  enum class Kind {
+    kChildColumns,     ///< nested For over children returning columns
+    kAggregate,        ///< agg($v/child/column)
+    kCountCompareAgg,  ///< count($v/child[column <cmp> agg($v/child/column)])
+  };
+  Kind kind = Kind::kChildColumns;
+  std::vector<std::string> columns;  // kChildColumns
+  AggKind agg = AggKind::kAvg;
+  std::string agg_column;
+  BinaryOp cmp = BinaryOp::kGe;  // kCountCompareAgg
+};
+
+/// \brief The FLWR subset the paper's examples use: one For over the view's
+/// parent elements, an optional Where, and a Return of mixed per-child and
+/// per-element items. An empty Return with a Where means "Return $v" (whole
+/// element — the group-selection queries of §4.2).
+struct FlwrQuery {
+  FlwrWhere where;
+  std::vector<FlwrReturnItem> ret;
+};
+
+/// Push-down translation onto the paper's §3.1 extended syntax: one gapply
+/// query whose result is clustered per element. This is the translation the
+/// paper argues XQuery middleware should emit once GApply is exposed.
+Result<std::string> TranslateToGApplySql(const FlwrQuery& query,
+                                         const FlwrViewBinding& view);
+
+/// The classic §2 translation: a sorted-outer-union SQL query with
+/// redundant joins and correlated subqueries, no gapply. Used as the
+/// baseline in the Figure 8 reproduction.
+Result<std::string> TranslateToOuterUnionSql(const FlwrQuery& query,
+                                             const FlwrViewBinding& view);
+
+}  // namespace gapply::xml
+
+#endif  // GAPPLY_XML_XQUERY_H_

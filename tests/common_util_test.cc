@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/expr/expr.h"
+
+namespace gapply {
+namespace {
+
+TEST(StringUtilTest, ToLowerAndEqualsIgnoreCase) {
+  EXPECT_EQ(ToLower("PartSupp_1"), "partsupp_1");
+  EXPECT_TRUE(EqualsIgnoreCase("GApply", "gapply"));
+  EXPECT_FALSE(EqualsIgnoreCase("gapply", "gappl"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+}
+
+TEST(StringUtilTest, JoinAndRepeat) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Repeat("ab", 3), "ababab");
+  EXPECT_EQ(Repeat("x", 0), "");
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  bool differs = false;
+  Rng a2(123);
+  for (int i = 0; i < 10; ++i) {
+    if (a2.Next() != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(RngTest, UniformIntInRangeAndCoversDomain) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, UniformDoubleAndBernoulli) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const double v = rng.UniformDouble(1.0, 2.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LT(v, 2.0);
+  }
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 1000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_GT(hits, 200);
+  EXPECT_LT(hits, 400);
+}
+
+TEST(RngTest, RandomWordShapeAndLength) {
+  Rng rng(5);
+  const std::string w = rng.RandomWord(12);
+  ASSERT_EQ(w.size(), 12u);
+  for (char c : w) {
+    EXPECT_GE(c, 'a');
+    EXPECT_LE(c, 'z');
+  }
+}
+
+TEST(ExprUtilTest, SplitAndCombineConjuncts) {
+  Schema s({{"a", TypeId::kInt64, "t"}, {"b", TypeId::kInt64, "t"}});
+  ExprPtr pred = And(And(Gt(Col(s, "a"), Lit(int64_t{1})),
+                         Lt(Col(s, "b"), Lit(int64_t{5}))),
+                     Eq(Col(s, "a"), Col(s, "b")));
+  std::vector<ExprPtr> conjuncts = SplitConjuncts(std::move(pred));
+  ASSERT_EQ(conjuncts.size(), 3u);
+  EXPECT_EQ(conjuncts[0]->ToString(), "(a > 1)");
+  EXPECT_EQ(conjuncts[2]->ToString(), "(a = b)");
+
+  ExprPtr combined = CombineConjuncts(std::move(conjuncts));
+  ASSERT_NE(combined, nullptr);
+  EXPECT_EQ(combined->ToString(), "(((a > 1) and (b < 5)) and (a = b))");
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+}
+
+TEST(ExprUtilTest, RemapColumnsRewritesIndexes) {
+  Schema s({{"a", TypeId::kInt64, "t"},
+            {"b", TypeId::kInt64, "t"},
+            {"c", TypeId::kInt64, "t"}});
+  ExprPtr e = Gt(Col(s, "c"), Col(s, "a"));
+  // Drop column b: c moves from 2 to 1.
+  ASSERT_TRUE(e->RemapColumns({0, -1, 1}).ok());
+  std::set<int> used;
+  e->CollectColumns(&used);
+  EXPECT_EQ(used, (std::set<int>{0, 1}));
+  // Remapping an expression that references the dropped column fails.
+  ExprPtr bad = Col(s, "b");
+  EXPECT_FALSE(bad->RemapColumns({0, -1, 1}).ok());
+}
+
+TEST(ExprUtilTest, StructuralEqualityDistinguishesLiterals) {
+  Schema s({{"a", TypeId::kInt64, "t"}});
+  ExprPtr e1 = Gt(Col(s, "a"), Lit(int64_t{5}));
+  ExprPtr e2 = Gt(Col(s, "a"), Lit(int64_t{5}));
+  ExprPtr e3 = Gt(Col(s, "a"), Lit(int64_t{6}));
+  ExprPtr e4 = Ge(Col(s, "a"), Lit(int64_t{5}));
+  EXPECT_TRUE(e1->StructurallyEquals(*e2));
+  EXPECT_FALSE(e1->StructurallyEquals(*e3));
+  EXPECT_FALSE(e1->StructurallyEquals(*e4));
+}
+
+}  // namespace
+}  // namespace gapply

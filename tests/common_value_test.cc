@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/value.h"
+
+namespace gapply {
+namespace {
+
+using value_ops::CmpOp;
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("table t");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: table t");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::TypeError("bad");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+}
+
+Result<int> Doubled(Result<int> in) {
+  ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(Status::Internal("x")).ok());
+}
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).type(), TypeId::kBool);
+  EXPECT_EQ(Value::Int(5).int_val(), 5);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_val(), 2.5);
+  EXPECT_EQ(Value::Str("abc").str_val(), "abc");
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Str("hi").ToString(), "hi");
+}
+
+TEST(ValueTest, CompareNumericCrossType) {
+  EXPECT_EQ(*Value::Compare(Value::Int(2), Value::Double(2.5)), -1);
+  EXPECT_EQ(*Value::Compare(Value::Double(3.0), Value::Int(3)), 0);
+  EXPECT_EQ(*Value::Compare(Value::Int(4), Value::Int(3)), 1);
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_EQ(*Value::Compare(Value::Str("a"), Value::Str("b")), -1);
+  EXPECT_EQ(*Value::Compare(Value::Str("b"), Value::Str("b")), 0);
+}
+
+TEST(ValueTest, CompareIncompatibleTypesFails) {
+  EXPECT_FALSE(Value::Compare(Value::Str("a"), Value::Int(1)).ok());
+  EXPECT_FALSE(Value::Compare(Value::Null(), Value::Int(1)).ok());
+}
+
+TEST(ValueTest, GroupingEqualityTreatsNullAsEqual) {
+  EXPECT_TRUE(Value::Null().Equals(Value::Null()));
+  EXPECT_FALSE(Value::Null().Equals(Value::Int(0)));
+  EXPECT_TRUE(Value::Int(2).Equals(Value::Double(2.0)));
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+}
+
+TEST(ValueTest, ThreeValuedComparison) {
+  Result<Value> r =
+      value_ops::CompareOp(CmpOp::kLt, Value::Null(), Value::Int(1));
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+  EXPECT_TRUE(
+      value_ops::CompareOp(CmpOp::kGe, Value::Int(2), Value::Int(2))->bool_val());
+  EXPECT_FALSE(
+      value_ops::CompareOp(CmpOp::kNe, Value::Int(2), Value::Double(2.0))
+          ->bool_val());
+}
+
+TEST(ValueTest, KleeneAndOr) {
+  const Value t = Value::Bool(true);
+  const Value f = Value::Bool(false);
+  const Value n = Value::Null();
+  // AND: false dominates NULL.
+  EXPECT_FALSE(value_ops::And(f, n)->bool_val());
+  EXPECT_TRUE(value_ops::And(t, t)->bool_val());
+  EXPECT_TRUE(value_ops::And(t, n)->is_null());
+  // OR: true dominates NULL.
+  EXPECT_TRUE(value_ops::Or(t, n)->bool_val());
+  EXPECT_TRUE(value_ops::Or(f, n)->is_null());
+  EXPECT_FALSE(value_ops::Or(f, f)->bool_val());
+  // NOT NULL is NULL.
+  EXPECT_TRUE(value_ops::Not(n)->is_null());
+  EXPECT_FALSE(value_ops::Not(t)->bool_val());
+}
+
+TEST(ValueTest, BooleanOpsRejectNonBool) {
+  EXPECT_FALSE(value_ops::And(Value::Int(1), Value::Bool(true)).ok());
+  EXPECT_FALSE(value_ops::Not(Value::Str("x")).ok());
+}
+
+TEST(ValueTest, ArithmeticPromotionAndNulls) {
+  EXPECT_EQ(value_ops::Add(Value::Int(2), Value::Int(3))->int_val(), 5);
+  EXPECT_DOUBLE_EQ(
+      value_ops::Add(Value::Int(2), Value::Double(0.5))->double_val(), 2.5);
+  EXPECT_TRUE(value_ops::Multiply(Value::Null(), Value::Int(3))->is_null());
+  EXPECT_EQ(value_ops::Subtract(Value::Int(2), Value::Int(5))->int_val(), -3);
+  EXPECT_EQ(value_ops::Modulo(Value::Int(7), Value::Int(3))->int_val(), 1);
+  EXPECT_EQ(value_ops::Negate(Value::Int(7))->int_val(), -7);
+}
+
+TEST(ValueTest, DivisionByZeroIsError) {
+  EXPECT_FALSE(value_ops::Divide(Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(value_ops::Divide(Value::Double(1), Value::Double(0)).ok());
+  EXPECT_FALSE(value_ops::Modulo(Value::Int(1), Value::Int(0)).ok());
+}
+
+TEST(ValueTest, ArithmeticTypeErrors) {
+  EXPECT_FALSE(value_ops::Add(Value::Str("a"), Value::Int(1)).ok());
+  EXPECT_FALSE(value_ops::Negate(Value::Str("a")).ok());
+}
+
+TEST(RowTest, RowEqualityAndHash) {
+  Row a = {Value::Int(1), Value::Null(), Value::Str("x")};
+  Row b = {Value::Int(1), Value::Null(), Value::Str("x")};
+  Row c = {Value::Int(1), Value::Int(0), Value::Str("x")};
+  EXPECT_TRUE(RowsEqual(a, b));
+  EXPECT_FALSE(RowsEqual(a, c));
+  EXPECT_EQ(RowHash()(a), RowHash()(b));
+  EXPECT_TRUE(RowEq()(a, b));
+  EXPECT_EQ(RowToString(a), "(1, NULL, x)");
+}
+
+}  // namespace
+}  // namespace gapply

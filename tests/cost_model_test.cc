@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "src/optimizer/cost_model.h"
+#include "src/plan/builder.h"
+#include "src/tpch/tpch_gen.h"
+#include "tests/test_util.h"
+
+namespace gapply {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;  // 10 suppliers, 200 parts, 800 partsupp
+    ASSERT_TRUE(tpch::Generate(config, &catalog_).ok());
+    ASSERT_TRUE(stats_.AnalyzeAll(catalog_).ok());
+  }
+
+  PlanEstimate Estimate(const LogicalOp& plan) {
+    CostModel model(&catalog_, &stats_);
+    Result<PlanEstimate> r = model.Estimate(plan);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : PlanEstimate{};
+  }
+
+  LogicalOpPtr Build(PlanBuilder b) {
+    auto r = std::move(b).Build();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : nullptr;
+  }
+
+  Catalog catalog_;
+  StatsManager stats_;
+};
+
+TEST_F(CostModelTest, ScanCardinalityFromStats) {
+  auto plan = Build(PlanBuilder::Scan(catalog_, "partsupp"));
+  PlanEstimate est = Estimate(*plan);
+  EXPECT_DOUBLE_EQ(est.rows, 800);
+  // NDV of ps_suppkey is the supplier count.
+  EXPECT_DOUBLE_EQ(est.column_ndv[1], 10);
+  EXPECT_NE(est.column_stats[1], nullptr);
+}
+
+TEST_F(CostModelTest, EqualitySelectivityUsesNdv) {
+  auto plan = Build(PlanBuilder::Scan(catalog_, "partsupp")
+                        .Select([](const Schema& s) {
+                          return Eq(Col(s, "ps_suppkey"), Lit(int64_t{3}));
+                        }));
+  PlanEstimate est = Estimate(*plan);
+  EXPECT_NEAR(est.rows, 800.0 / 10.0, 1.0);
+}
+
+TEST_F(CostModelTest, RangeSelectivityUsesHistogram) {
+  // Prices at this scale run ~901..1100 roughly uniformly; a cutoff at the
+  // three-quarter point should keep about a quarter of the rows.
+  auto plan = Build(PlanBuilder::Scan(catalog_, "part")
+                        .Select([](const Schema& s) {
+                          return Gt(Col(s, "p_retailprice"), Lit(1050.0));
+                        }));
+  PlanEstimate est = Estimate(*plan);
+  EXPECT_GT(est.rows, 200 * 0.15);
+  EXPECT_LT(est.rows, 200 * 0.35);
+
+  // Monotonicity: stricter cutoffs estimate fewer rows.
+  double prev = 1e18;
+  for (double cutoff : {950.0, 1000.0, 1050.0, 1090.0}) {
+    auto p = Build(PlanBuilder::Scan(catalog_, "part")
+                       .Select([&](const Schema& s) {
+                         return Gt(Col(s, "p_retailprice"), Lit(cutoff));
+                       }));
+    const double rows = Estimate(*p).rows;
+    EXPECT_LT(rows, prev) << "cutoff " << cutoff;
+    prev = rows;
+  }
+}
+
+TEST_F(CostModelTest, FkJoinCardinality) {
+  auto plan = Build(PlanBuilder::Scan(catalog_, "partsupp")
+                        .Join(PlanBuilder::Scan(catalog_, "part"),
+                              {"ps_partkey"}, {"p_partkey"}));
+  PlanEstimate est = Estimate(*plan);
+  // |partsupp ⋈ part| = 800 (FK join): 800*200/max(200,200).
+  EXPECT_NEAR(est.rows, 800, 1);
+}
+
+TEST_F(CostModelTest, GroupByCardinalityIsKeyNdv) {
+  auto plan = Build(PlanBuilder::Scan(catalog_, "partsupp")
+                        .GroupBy({"ps_suppkey"},
+                                 {{AggKind::kCountStar, "", "c", false}}));
+  EXPECT_NEAR(Estimate(*plan).rows, 10, 0.5);
+}
+
+TEST_F(CostModelTest, GApplyCostFollowsPaperFormula) {
+  // cost(GApply) = cost(outer) + partition + #groups * cost(PGQ on one
+  // average group): §4.4. #groups = NDV(gcols) = 10.
+  auto outer = PlanBuilder::Scan(catalog_, "partsupp");
+  const Schema gs = outer.schema();
+  auto plan = Build(std::move(outer).GApply(
+      {"ps_suppkey"}, "g",
+      PlanBuilder::GroupScan("g", gs).ScalarAgg(
+          {{AggKind::kAvg, "ps_supplycost", "a", false}})));
+  PlanEstimate est = Estimate(*plan);
+  // One row per group.
+  EXPECT_NEAR(est.rows, 10, 0.5);
+  // Cost must cover: outer scan (800) + partition (800) + 10 groups * ~160
+  // (scan group of 80 rows + aggregate pass).
+  EXPECT_GT(est.cost, 800 + 800);
+  EXPECT_LT(est.cost, 800 + 800 + 10 * 400);
+}
+
+TEST_F(CostModelTest, UncorrelatedApplyCheaperThanCorrelated) {
+  // Correlated: inner re-executed per outer row; uncorrelated: cached.
+  auto uncorrelated = Build(PlanBuilder::Scan(catalog_, "supplier")
+                                .Apply(PlanBuilder::Scan(catalog_, "nation")
+                                           .ScalarAgg({{AggKind::kCountStar,
+                                                        "", "c", false}})));
+
+  auto nation = PlanBuilder::Scan(catalog_, "nation").Select(
+      [](const Schema& s) {
+        return Eq(Col(s, "n_nationkey"),
+                  ExprPtr(std::make_unique<CorrelatedColumnRefExpr>(
+                      0, 2, TypeId::kInt64, "s_nationkey")));
+      });
+  auto correlated = Build(
+      PlanBuilder::Scan(catalog_, "supplier")
+          .Apply(std::move(nation).ScalarAgg(
+              {{AggKind::kCountStar, "", "c", false}})));
+
+  EXPECT_LT(Estimate(*uncorrelated).cost, Estimate(*correlated).cost);
+}
+
+TEST_F(CostModelTest, SortMoreExpensiveThanScan) {
+  auto scan = Build(PlanBuilder::Scan(catalog_, "partsupp"));
+  auto sorted = Build(
+      PlanBuilder::Scan(catalog_, "partsupp").OrderBy({"ps_suppkey"}));
+  EXPECT_GT(Estimate(*sorted).cost, Estimate(*scan).cost);
+}
+
+TEST_F(CostModelTest, WorksWithoutStats) {
+  CostModel model(&catalog_, nullptr);
+  auto plan = Build(PlanBuilder::Scan(catalog_, "partsupp"));
+  Result<PlanEstimate> est = model.Estimate(*plan);
+  ASSERT_TRUE(est.ok());
+  EXPECT_DOUBLE_EQ(est->rows, 800);  // falls back to actual row count
+}
+
+TEST_F(CostModelTest, HistogramFractionBelow) {
+  const TableStats* ts = stats_.Get("part");
+  ASSERT_NE(ts, nullptr);
+  const ColumnStats& price = ts->columns[5];
+  EXPECT_DOUBLE_EQ(price.FractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(price.FractionBelow(1e9), 1.0);
+  const double mid = price.FractionBelow(1000.0);
+  EXPECT_GT(mid, 0.3);
+  EXPECT_LT(mid, 0.7);
+  // Monotone.
+  EXPECT_LE(price.FractionBelow(950.0), price.FractionBelow(1050.0));
+}
+
+}  // namespace
+}  // namespace gapply

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "tests/test_util.h"
+
+namespace gapply {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;
+    ASSERT_TRUE(db_.LoadTpch(config).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(EngineTest, QueryReportsCountersAndRules) {
+  QueryStats stats;
+  Result<QueryResult> r = db_.Query(
+      "select gapply(select avg(p_retailprice) from g) "
+      "from partsupp, part where ps_partkey = p_partkey "
+      "group by ps_suppkey : g",
+      QueryOptions{}, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(stats.fired_rules.empty());
+  EXPECT_GT(stats.counters.rows_scanned, 0u);
+}
+
+TEST_F(EngineTest, OptimizeOffExecutesBoundPlanVerbatim) {
+  const std::string sql =
+      "select gapply(select count(*) from g) "
+      "from partsupp group by ps_suppkey : g";
+  QueryOptions off;
+  off.optimize = false;
+  QueryStats stats;
+  Result<QueryResult> r = db_.Query(sql, off, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(stats.fired_rules.empty());
+  EXPECT_EQ(stats.counters.pgq_executions, 10u);  // GApply really ran
+
+  // With the optimizer on, GApplyToGroupBy removes the GApply entirely.
+  QueryStats on_stats;
+  Result<QueryResult> on = db_.Query(sql, QueryOptions{}, &on_stats);
+  ASSERT_TRUE(on.ok());
+  EXPECT_EQ(on_stats.counters.pgq_executions, 0u);
+  EXPECT_TRUE(SameRowMultiset(r->rows, on->rows));
+}
+
+TEST_F(EngineTest, PartitionModePlumbedThroughOptions) {
+  const std::string sql =
+      "select gapply(select p_name from g) "
+      "from partsupp, part where ps_partkey = p_partkey "
+      "group by ps_suppkey : g";
+  QueryOptions sort_mode;
+  sort_mode.lowering.force_partition_mode = PartitionMode::kSort;
+  QueryStats stats;
+  Result<QueryResult> r = db_.Query(sql, sort_mode, &stats);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(stats.counters.rows_sorted, 0u);
+  EXPECT_EQ(stats.counters.rows_hash_partitioned, 0u);
+
+  QueryOptions hash_mode;
+  hash_mode.lowering.force_partition_mode = PartitionMode::kHash;
+  QueryStats hash_stats;
+  Result<QueryResult> h = db_.Query(sql, hash_mode, &hash_stats);
+  ASSERT_TRUE(h.ok());
+  EXPECT_GT(hash_stats.counters.rows_hash_partitioned, 0u);
+  EXPECT_TRUE(SameRowMultiset(r->rows, h->rows));
+}
+
+TEST_F(EngineTest, RuleTogglesIsolateIndividualRules) {
+  const std::string sql =
+      "select gapply(select avg(p_retailprice) from g) "
+      "from partsupp, part where ps_partkey = p_partkey "
+      "group by ps_suppkey : g";
+  QueryOptions only_projection;
+  only_projection.optimizer = Optimizer::Options::AllDisabled();
+  only_projection.optimizer.projection_before_gapply = true;
+  QueryStats stats;
+  ASSERT_TRUE(db_.Query(sql, only_projection, &stats).ok());
+  ASSERT_EQ(stats.fired_rules.size(), 1u);
+  EXPECT_EQ(stats.fired_rules[0], "ProjectionBeforeGApply");
+}
+
+TEST_F(EngineTest, ErrorsPropagateWithContext) {
+  Result<QueryResult> parse_err = db_.Query("selec nonsense");
+  ASSERT_FALSE(parse_err.ok());
+  Result<QueryResult> bind_err = db_.Query("select zzz from part");
+  ASSERT_FALSE(bind_err.ok());
+  EXPECT_EQ(bind_err.status().code(), StatusCode::kNotFound);
+  // Runtime type error: adding a string column to an int.
+  Result<QueryResult> run_err =
+      db_.Query("select p_name + 1 from part");
+  ASSERT_FALSE(run_err.ok());
+  EXPECT_EQ(run_err.status().code(), StatusCode::kTypeError);
+}
+
+TEST_F(EngineTest, AnalyzeRefreshesStats) {
+  // Add a table after the initial ANALYZE; stats appear after re-analyze.
+  Schema schema({{"v", TypeId::kInt64, "extra"}});
+  auto table = std::make_unique<Table>("extra", schema);
+  ASSERT_TRUE(table->Append({Value::Int(1)}).ok());
+  ASSERT_TRUE(db_.catalog()->AddTable(std::move(table)).ok());
+  EXPECT_EQ(db_.stats()->Get("extra"), nullptr);
+  ASSERT_TRUE(db_.Analyze().ok());
+  ASSERT_NE(db_.stats()->Get("extra"), nullptr);
+  EXPECT_EQ(db_.stats()->Get("extra")->row_count, 1);
+}
+
+TEST_F(EngineTest, RepeatedQueriesAreIndependent) {
+  const std::string sql = "select count(*) from partsupp";
+  for (int i = 0; i < 3; ++i) {
+    Result<QueryResult> r = db_.Query(sql);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->rows[0][0].int_val(), 800);
+  }
+}
+
+}  // namespace
+}  // namespace gapply

@@ -1,0 +1,356 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/exec/agg_ops.h"
+#include "src/exec/apply_ops.h"
+#include "src/exec/filter_project_ops.h"
+#include "src/exec/gapply_op.h"
+#include "src/exec/scan_ops.h"
+#include "src/expr/aggregate.h"
+#include "tests/test_util.h"
+
+namespace gapply {
+namespace {
+
+using tutil::GroupedSchema;
+using tutil::MakeTable;
+using tutil::RandomGroupedRows;
+using tutil::RunPlan;
+
+// ---------------------------------------------------------------------------
+// Naive reference implementation of GApply semantics:
+//   U_{c in distinct(pi_C(outer))} ({c} x PGQ(sigma_{C=c} outer))
+// computed by materializing partitions with a std::map and invoking a
+// PGQ-as-function callback. Property tests compare the operator against it.
+// ---------------------------------------------------------------------------
+using PgqFn = std::function<std::vector<Row>(const std::vector<Row>&)>;
+
+std::vector<Row> ReferenceGApply(const std::vector<Row>& input,
+                                 const std::vector<int>& gcols,
+                                 const PgqFn& pgq) {
+  // Map with first-appearance ordering is not needed; output is compared as
+  // a multiset.
+  std::vector<Row> keys;
+  std::vector<std::vector<Row>> groups;
+  for (const Row& row : input) {
+    Row key;
+    for (int c : gcols) key.push_back(row[static_cast<size_t>(c)]);
+    size_t g = keys.size();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (RowsEqual(keys[i], key)) {
+        g = i;
+        break;
+      }
+    }
+    if (g == keys.size()) {
+      keys.push_back(key);
+      groups.emplace_back();
+    }
+    groups[g].push_back(row);
+  }
+  std::vector<Row> out;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    for (const Row& pgq_row : pgq(groups[g])) {
+      Row full = keys[g];
+      full.insert(full.end(), pgq_row.begin(), pgq_row.end());
+      out.push_back(std::move(full));
+    }
+  }
+  return out;
+}
+
+// PGQ plan: scan the group, compute scalar aggregates (count(*), sum v,
+// avg d).
+PhysOpPtr AggPgq(const Schema& group_schema, const std::string& var) {
+  auto scan = std::make_unique<GroupScanOp>(var, group_schema);
+  std::vector<AggregateDesc> aggs;
+  aggs.push_back(CountStar("cnt"));
+  aggs.push_back(Sum(Col(group_schema, "v"), "sum_v"));
+  aggs.push_back(Avg(Col(group_schema, "d"), "avg_d"));
+  return std::make_unique<ScalarAggOp>(std::move(scan), std::move(aggs));
+}
+
+TEST(GApplyTest, AggregatePerGroup) {
+  auto table = MakeTable("t", GroupedSchema(),
+                         {{Value::Int(1), Value::Int(10), Value::Double(2.0)},
+                          {Value::Int(1), Value::Int(30), Value::Double(4.0)},
+                          {Value::Int(2), Value::Int(5), Value::Double(1.0)}});
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+  GApplyOp op(std::move(outer), {0}, "g", AggPgq(group_schema, "g"),
+              PartitionMode::kHash);
+  // Output: k, cnt, sum_v, avg_d.
+  QueryResult r = RunPlan(&op);
+  ASSERT_EQ(r.schema.num_columns(), 4u);
+  EXPECT_TRUE(SameRowMultiset(
+      r.rows,
+      {{Value::Int(1), Value::Int(2), Value::Int(40), Value::Double(3.0)},
+       {Value::Int(2), Value::Int(1), Value::Int(5), Value::Double(1.0)}}));
+}
+
+TEST(GApplyTest, SortModeClustersOutputByGroupingColumns) {
+  Rng rng(3);
+  auto table =
+      MakeTable("t", GroupedSchema(), RandomGroupedRows(&rng, 200, 12));
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+
+  // PGQ returns the group itself (identity scan): output is the whole input
+  // with the key prefixed, clustered by key in sort mode.
+  GApplyOp op(std::move(outer), {0}, "g",
+              std::make_unique<GroupScanOp>("g", group_schema),
+              PartitionMode::kSort);
+  QueryResult r = RunPlan(&op);
+  ASSERT_EQ(r.rows.size(), 200u);
+  for (size_t i = 1; i < r.rows.size(); ++i) {
+    EXPECT_GE(r.rows[i][0].int_val(), r.rows[i - 1][0].int_val())
+        << "sort-mode GApply output must be clustered and ordered by key";
+  }
+}
+
+TEST(GApplyTest, HashModeClustersByGroupEvenIfUnordered) {
+  Rng rng(4);
+  auto table =
+      MakeTable("t", GroupedSchema(), RandomGroupedRows(&rng, 100, 7));
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+  GApplyOp op(std::move(outer), {0}, "g",
+              std::make_unique<GroupScanOp>("g", group_schema),
+              PartitionMode::kHash);
+  QueryResult r = RunPlan(&op);
+  ASSERT_EQ(r.rows.size(), 100u);
+  // Rows of the same key must be contiguous (clustered), though key order is
+  // arbitrary.
+  std::map<int64_t, int> runs;
+  int64_t prev = -1;
+  for (const Row& row : r.rows) {
+    const int64_t k = row[0].int_val();
+    if (k != prev) {
+      runs[k]++;
+      prev = k;
+    }
+  }
+  for (const auto& [k, n] : runs) {
+    EXPECT_EQ(n, 1) << "key " << k << " appears in " << n << " runs";
+  }
+}
+
+TEST(GApplyTest, EmptyInputProducesNoGroups) {
+  auto table = MakeTable("t", GroupedSchema(), {});
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+  GApplyOp op(std::move(outer), {0}, "g", AggPgq(group_schema, "g"));
+  EXPECT_TRUE(RunPlan(&op).rows.empty());
+}
+
+TEST(GApplyTest, NullGroupingValuesFormTheirOwnGroup) {
+  auto table = MakeTable("t", GroupedSchema(),
+                         {{Value::Null(), Value::Int(1), Value::Double(1)},
+                          {Value::Null(), Value::Int(2), Value::Double(2)},
+                          {Value::Int(1), Value::Int(3), Value::Double(3)}});
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+  GApplyOp op(std::move(outer), {0}, "g", AggPgq(group_schema, "g"));
+  QueryResult r = RunPlan(&op);
+  EXPECT_TRUE(SameRowMultiset(
+      r.rows,
+      {{Value::Null(), Value::Int(2), Value::Int(3), Value::Double(1.5)},
+       {Value::Int(1), Value::Int(1), Value::Int(3), Value::Double(3.0)}}));
+}
+
+TEST(GApplyTest, MultiColumnGroupingKeys) {
+  Schema s({{"a", TypeId::kInt64, "t"},
+            {"b", TypeId::kInt64, "t"},
+            {"v", TypeId::kInt64, "t"}});
+  auto table = MakeTable(
+      "t", s,
+      {{Value::Int(1), Value::Int(1), Value::Int(10)},
+       {Value::Int(1), Value::Int(2), Value::Int(20)},
+       {Value::Int(1), Value::Int(1), Value::Int(30)}});
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+  auto scan = std::make_unique<GroupScanOp>("g", group_schema);
+  std::vector<AggregateDesc> aggs;
+  aggs.push_back(Sum(Col(group_schema, "v"), "s"));
+  auto pgq = std::make_unique<ScalarAggOp>(std::move(scan), std::move(aggs));
+  GApplyOp op(std::move(outer), {0, 1}, "g", std::move(pgq));
+  EXPECT_TRUE(SameRowMultiset(
+      RunPlan(&op).rows, {{Value::Int(1), Value::Int(1), Value::Int(40)},
+                      {Value::Int(1), Value::Int(2), Value::Int(20)}}));
+}
+
+TEST(GApplyTest, PgqCountersTrackExecutions) {
+  Rng rng(5);
+  auto table =
+      MakeTable("t", GroupedSchema(), RandomGroupedRows(&rng, 50, 9));
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+  GApplyOp op(std::move(outer), {0}, "g", AggPgq(group_schema, "g"));
+  ExecContext ctx;
+  ASSERT_TRUE(ExecuteToVector(&op, &ctx).ok());
+  EXPECT_EQ(ctx.counters().pgq_executions, 9u);
+  EXPECT_EQ(ctx.counters().group_rows_scanned, 50u);
+}
+
+// Nested GApply: outer groups by a, inner GApply (inside the PGQ) groups the
+// group by b. Exercises binding-stack shadowing with distinct names.
+TEST(GApplyTest, NestedGApplyInsidePgq) {
+  Schema s({{"a", TypeId::kInt64, "t"},
+            {"b", TypeId::kInt64, "t"},
+            {"v", TypeId::kInt64, "t"}});
+  auto table = MakeTable(
+      "t", s,
+      {{Value::Int(1), Value::Int(1), Value::Int(1)},
+       {Value::Int(1), Value::Int(1), Value::Int(2)},
+       {Value::Int(1), Value::Int(2), Value::Int(3)},
+       {Value::Int(2), Value::Int(1), Value::Int(4)}});
+  auto outer = std::make_unique<TableScanOp>(table.get());
+  const Schema group_schema = outer->output_schema();
+
+  // Inner PGQ (for inner GApply over $h): sum(v).
+  auto inner_scan = std::make_unique<GroupScanOp>("h", group_schema);
+  std::vector<AggregateDesc> inner_aggs;
+  inner_aggs.push_back(Sum(Col(group_schema, "v"), "s"));
+  auto inner_pgq = std::make_unique<ScalarAggOp>(std::move(inner_scan),
+                                                 std::move(inner_aggs));
+  // Outer PGQ: GApply over the group, grouping by b (column 1).
+  auto outer_pgq = std::make_unique<GApplyOp>(
+      std::make_unique<GroupScanOp>("g", group_schema), std::vector<int>{1},
+      "h", std::move(inner_pgq));
+
+  GApplyOp op(std::move(outer), {0}, "g", std::move(outer_pgq));
+  // Output: a, b, s.
+  EXPECT_TRUE(SameRowMultiset(
+      RunPlan(&op).rows, {{Value::Int(1), Value::Int(1), Value::Int(3)},
+                      {Value::Int(1), Value::Int(2), Value::Int(3)},
+                      {Value::Int(2), Value::Int(1), Value::Int(4)}}));
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: GApply(sort) == GApply(hash) == reference, over random
+// data, for three PGQ shapes.
+// ---------------------------------------------------------------------------
+
+class GApplyPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GApplyPropertyTest, AggPgqMatchesReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int num_rows = static_cast<int>(rng.UniformInt(0, 300));
+  const int num_keys = static_cast<int>(rng.UniformInt(1, 20));
+  auto rows = RandomGroupedRows(&rng, num_rows, num_keys, 0.15);
+  auto table = MakeTable("t", GroupedSchema(), rows);
+  const Schema gs = table->schema();
+
+  const std::vector<Row> expected = ReferenceGApply(
+      table->rows(), {0}, [&](const std::vector<Row>& group) {
+        int64_t cnt = 0, sum = 0;
+        bool any = false;
+        double dsum = 0;
+        for (const Row& r : group) {
+          ++cnt;
+          if (!r[1].is_null()) {
+            sum += r[1].int_val();
+            any = true;
+          }
+          dsum += r[2].double_val();
+        }
+        Row out{Value::Int(cnt), any ? Value::Int(sum) : Value::Null(),
+                Value::Double(dsum / static_cast<double>(group.size()))};
+        return std::vector<Row>{out};
+      });
+
+  for (PartitionMode mode : {PartitionMode::kSort, PartitionMode::kHash}) {
+    GApplyOp op(std::make_unique<TableScanOp>(table.get()), {0}, "g",
+                AggPgq(gs, "g"), mode);
+    QueryResult r = RunPlan(&op);
+    EXPECT_TRUE(SameRowMultiset(r.rows, expected))
+        << "mode=" << PartitionModeName(mode) << " rows=" << num_rows
+        << " keys=" << num_keys;
+  }
+}
+
+TEST_P(GApplyPropertyTest, FilteredIdentityPgqMatchesReference) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  const int num_rows = static_cast<int>(rng.UniformInt(0, 300));
+  const int num_keys = static_cast<int>(rng.UniformInt(1, 15));
+  const int64_t cutoff = rng.UniformInt(0, 100);
+  auto rows = RandomGroupedRows(&rng, num_rows, num_keys, 0.1);
+  auto table = MakeTable("t", GroupedSchema(), rows);
+  const Schema gs = table->schema();
+
+  const std::vector<Row> expected = ReferenceGApply(
+      table->rows(), {0}, [&](const std::vector<Row>& group) {
+        std::vector<Row> out;
+        for (const Row& r : group) {
+          if (!r[1].is_null() && r[1].int_val() > cutoff) out.push_back(r);
+        }
+        return out;
+      });
+
+  for (PartitionMode mode : {PartitionMode::kSort, PartitionMode::kHash}) {
+    auto pgq = std::make_unique<FilterOp>(
+        std::make_unique<GroupScanOp>("g", gs),
+        Gt(Col(gs, "v"), Lit(cutoff)));
+    GApplyOp op(std::make_unique<TableScanOp>(table.get()), {0}, "g",
+                std::move(pgq), mode);
+    EXPECT_TRUE(SameRowMultiset(RunPlan(&op).rows, expected))
+        << "mode=" << PartitionModeName(mode);
+  }
+}
+
+TEST_P(GApplyPropertyTest, CorrelatedSubqueryPgqMatchesReference) {
+  // PGQ of paper query Q2 shape: count rows above the group average.
+  Rng rng(static_cast<uint64_t>(GetParam()) * 104729);
+  const int num_rows = static_cast<int>(rng.UniformInt(1, 250));
+  const int num_keys = static_cast<int>(rng.UniformInt(1, 12));
+  auto rows = RandomGroupedRows(&rng, num_rows, num_keys);
+  auto table = MakeTable("t", GroupedSchema(), rows);
+  const Schema gs = table->schema();
+
+  const std::vector<Row> expected = ReferenceGApply(
+      table->rows(), {0}, [&](const std::vector<Row>& group) {
+        double sum = 0;
+        for (const Row& r : group) sum += r[2].double_val();
+        const double avg = sum / static_cast<double>(group.size());
+        int64_t above = 0;
+        for (const Row& r : group) {
+          if (r[2].double_val() >= avg) ++above;
+        }
+        return std::vector<Row>{{Value::Int(above)}};
+      });
+
+  for (PartitionMode mode : {PartitionMode::kSort, PartitionMode::kHash}) {
+    // PGQ: ScalarAgg(count(*)) over Filter(d >= (ScalarAgg(avg d) of the
+    // group)). The scalar subquery is modeled with Apply: the Apply's outer
+    // is the group scan, the inner is the avg; a filter over the combined
+    // row compares, and a final count aggregates.
+    auto group_scan = std::make_unique<GroupScanOp>("g", gs);
+    std::vector<AggregateDesc> avg_aggs;
+    avg_aggs.push_back(Avg(Col(gs, "d"), "avg_d"));
+    auto avg_plan = std::make_unique<ScalarAggOp>(
+        std::make_unique<GroupScanOp>("g", gs), std::move(avg_aggs));
+    auto apply = std::make_unique<ApplyOp>(std::move(group_scan),
+                                           std::move(avg_plan));
+    const Schema applied = apply->output_schema();  // k, v, d, avg_d
+    auto filtered = std::make_unique<FilterOp>(
+        std::move(apply), Ge(Col(applied, "d"), Col(applied, "avg_d")));
+    std::vector<AggregateDesc> cnt;
+    cnt.push_back(CountStar("above"));
+    auto pgq =
+        std::make_unique<ScalarAggOp>(std::move(filtered), std::move(cnt));
+
+    GApplyOp op(std::make_unique<TableScanOp>(table.get()), {0}, "g",
+                std::move(pgq), mode);
+    EXPECT_TRUE(SameRowMultiset(RunPlan(&op).rows, expected))
+        << "mode=" << PartitionModeName(mode);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GApplyPropertyTest,
+                         ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace gapply

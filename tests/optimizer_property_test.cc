@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/plan/builder.h"
+#include "tests/test_util.h"
+
+namespace gapply {
+namespace {
+
+/// Randomized end-to-end property: for generated GApply queries of varying
+/// shape, the fully-optimized plan (all rules, cost gate off so even the
+/// "risky" rewrites fire) returns exactly the multiset of the unoptimized
+/// plan, under both partition modes.
+class OptimizerPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;
+    config.seed = 1234;
+    ASSERT_TRUE(db_.LoadTpch(config).ok());
+  }
+
+  Database db_;
+};
+
+// Builds a random per-group query over the partsupp⋈part group schema.
+PlanBuilder RandomPgq(Rng* rng, const Schema& gs) {
+  const int shape = static_cast<int>(rng->UniformInt(0, 5));
+  const double cutoff = rng->UniformDouble(900.0, 1100.0);
+  const int64_t size_cut = rng->UniformInt(1, 50);
+  switch (shape) {
+    case 0:  // filtered identity
+      return PlanBuilder::GroupScan("g", gs).Select([&](const Schema& s) {
+        return Gt(Col(s, "p_retailprice"), Lit(cutoff));
+      });
+    case 1:  // scalar aggregates
+      return PlanBuilder::GroupScan("g", gs).ScalarAgg(
+          {{AggKind::kAvg, "p_retailprice", "a", false},
+           {AggKind::kCountStar, "", "c", false}});
+    case 2:  // per-group grouping
+      return PlanBuilder::GroupScan("g", gs).GroupBy(
+          {"p_size"}, {{AggKind::kMin, "p_retailprice", "m", false}});
+    case 3: {  // group selection by exists
+      auto probe = PlanBuilder::GroupScan("g", gs)
+                       .Select([&](const Schema& s) {
+                         return Gt(Col(s, "p_retailprice"), Lit(cutoff));
+                       })
+                       .Exists();
+      return PlanBuilder::GroupScan("g", gs).Apply(std::move(probe));
+    }
+    case 4: {  // group selection by aggregate condition
+      auto probe = PlanBuilder::GroupScan("g", gs)
+                       .ScalarAgg({{AggKind::kAvg, "p_retailprice", "a",
+                                    false}})
+                       .Select([&](const Schema& s) {
+                         return Gt(Col(s, "a"), Lit(cutoff));
+                       })
+                       .Exists();
+      return PlanBuilder::GroupScan("g", gs).Apply(std::move(probe));
+    }
+    default: {  // union of a projection and an aggregate branch
+      auto detail = PlanBuilder::GroupScan("g", gs)
+                        .Select([&](const Schema& s) {
+                          return Le(Col(s, "p_size"), Lit(size_cut));
+                        })
+                        .ProjectExprs(
+                            [](const Schema& s) {
+                              std::vector<ExprPtr> e;
+                              e.push_back(Col(s, "p_retailprice"));
+                              e.push_back(Lit(Value::Null()));
+                              return e;
+                            },
+                            {"price", "agg"});
+      auto agg = PlanBuilder::GroupScan("g", gs)
+                     .Select([&](const Schema& s) {
+                       return Le(Col(s, "p_size"), Lit(size_cut));
+                     })
+                     .ScalarAgg({{AggKind::kMax, "p_retailprice", "m",
+                                  false}})
+                     .ProjectExprs(
+                         [](const Schema& s) {
+                           std::vector<ExprPtr> e;
+                           e.push_back(Lit(Value::Null()));
+                           e.push_back(Col(s, "m"));
+                           return e;
+                         },
+                         {"price", "agg"});
+      std::vector<PlanBuilder> branches;
+      branches.push_back(std::move(detail));
+      branches.push_back(std::move(agg));
+      return PlanBuilder::UnionAll(std::move(branches));
+    }
+  }
+}
+
+TEST_P(OptimizerPropertyTest, FullOptimizerPreservesSemantics) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 2654435761u);
+
+  // Random outer: partsupp alone, ⋈ part, or ⋈ part ⋈ supplier.
+  const int outer_shape = static_cast<int>(rng.UniformInt(0, 2));
+  PlanBuilder outer = PlanBuilder::Scan(*db_.catalog(), "partsupp");
+  if (outer_shape >= 1) {
+    outer = std::move(outer).Join(PlanBuilder::Scan(*db_.catalog(), "part"),
+                                  {"ps_partkey"}, {"p_partkey"});
+  }
+  if (outer_shape >= 2) {
+    outer = std::move(outer).Join(
+        PlanBuilder::Scan(*db_.catalog(), "supplier"), {"ps_suppkey"},
+        {"s_suppkey"});
+  }
+  const Schema gs = outer.schema();
+  // PGQ shapes referencing part columns need the part join.
+  PlanBuilder pgq =
+      outer_shape >= 1
+          ? RandomPgq(&rng, gs)
+          : PlanBuilder::GroupScan("g", gs).ScalarAgg(
+                {{AggKind::kSum, "ps_availqty", "q", false}});
+
+  const std::vector<std::string> gcols =
+      rng.Bernoulli(0.5) || outer_shape == 0
+          ? std::vector<std::string>{"ps_suppkey"}
+          : std::vector<std::string>{"ps_suppkey", "p_size"};
+
+  auto plan_r = std::move(outer).GApply(gcols, "g", std::move(pgq)).Build();
+  ASSERT_TRUE(plan_r.ok()) << plan_r.status().ToString();
+  LogicalOpPtr plan = std::move(plan_r).value();
+
+  QueryOptions unopt;
+  unopt.optimize = false;
+  ASSIGN_OR_FAIL(QueryResult expected, db_.Execute(*plan, unopt));
+
+  for (PartitionMode mode : {PartitionMode::kSort, PartitionMode::kHash}) {
+    QueryOptions opt;
+    opt.optimizer.cost_gate = false;  // fire even the risky rewrites
+    opt.lowering.force_partition_mode = mode;
+    QueryStats stats;
+    ASSIGN_OR_FAIL(QueryResult actual, db_.Execute(*plan, opt, &stats));
+    EXPECT_TRUE(SameRowMultiset(expected.rows, actual.rows))
+        << "seed=" << GetParam() << " mode=" << PartitionModeName(mode)
+        << "\nplan:\n"
+        << plan->DebugString() << "rows " << expected.rows.size() << " vs "
+        << actual.rows.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerPropertyTest,
+                         ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace gapply

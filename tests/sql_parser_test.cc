@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "src/sql/lexer.h"
+#include "src/sql/parser.h"
+
+namespace gapply::sql {
+namespace {
+
+TEST(LexerTest, TokenKinds) {
+  auto tokens = Lex("SELECT p_name, 42, 3.14, 'it''s' FROM part;");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 12u);  // incl. end token
+  EXPECT_EQ((*tokens)[0].type, TokenType::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "select");  // lowercased
+  EXPECT_EQ((*tokens)[0].raw, "SELECT");
+  EXPECT_EQ((*tokens)[3].type, TokenType::kInteger);
+  EXPECT_EQ((*tokens)[5].type, TokenType::kFloat);
+  EXPECT_EQ((*tokens)[7].type, TokenType::kString);
+  EXPECT_EQ((*tokens)[7].text, "it's");
+  EXPECT_EQ((*tokens)[10].text, ";");
+}
+
+TEST(LexerTest, OperatorsAndComments) {
+  auto tokens = Lex("a <> b -- comment\n <= >= != < > : .");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<std::string> symbols;
+  for (const Token& t : *tokens) {
+    if (t.type == TokenType::kSymbol) symbols.push_back(t.text);
+  }
+  EXPECT_EQ(symbols,
+            (std::vector<std::string>{"<>", "<=", ">=", "<>", "<", ">", ":",
+                                      "."}));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Lex("select 'unterminated").ok());
+  EXPECT_FALSE(Lex("select @").ok());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  auto q = Parse("select p_name, p_retailprice from part where p_size > 10");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  ASSERT_EQ((*q)->branches.size(), 1u);
+  const SelectStmt& s = *(*q)->branches[0];
+  EXPECT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.from.size(), 1u);
+  EXPECT_EQ(s.from[0].table, "part");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind, SqlExprKind::kBinary);
+  EXPECT_EQ(s.where->binary_op, BinaryOp::kGt);
+}
+
+TEST(ParserTest, AliasesAndQualifiedRefs) {
+  auto q = Parse("select ps.ps_suppkey as sk from partsupp ps, part p "
+                 "where ps.ps_partkey = p.p_partkey");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SelectStmt& s = *(*q)->branches[0];
+  EXPECT_EQ(s.items[0].alias, "sk");
+  EXPECT_EQ(s.items[0].expr->qualifier, "ps");
+  EXPECT_EQ(s.from[1].alias, "p");
+}
+
+TEST(ParserTest, UnionAllAndOrderBy) {
+  auto q = Parse("select a from t union all select b from u order by a desc");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->branches.size(), 2u);
+  ASSERT_EQ((*q)->order_by.size(), 1u);
+  EXPECT_FALSE((*q)->order_by[0].ascending);
+}
+
+TEST(ParserTest, PlainUnionRejected) {
+  EXPECT_FALSE(Parse("select a from t union select b from u").ok());
+}
+
+TEST(ParserTest, AggregatesAndGroupBy) {
+  auto q = Parse("select ps_suppkey, count(*), sum(ps_availqty), "
+                 "count(distinct ps_partkey) from partsupp "
+                 "group by ps_suppkey having count(*) > 2");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SelectStmt& s = *(*q)->branches[0];
+  EXPECT_TRUE(s.items[1].expr->star_arg);
+  EXPECT_TRUE(s.items[3].expr->distinct_arg);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  EXPECT_TRUE(s.group_var.empty());
+  ASSERT_NE(s.having, nullptr);
+}
+
+TEST(ParserTest, GApplySyntaxExtension) {
+  // The paper's §3.1 Q1 syntax, verbatim modulo whitespace.
+  auto q = Parse(
+      "select gapply(select p_name, p_retailprice, null from tmpsupp "
+      "              union all "
+      "              select null, null, avg(p_retailprice) from tmpsupp) "
+      "from partsupp, part "
+      "where ps_partkey = p_partkey "
+      "group by ps_suppkey : tmpsupp");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SelectStmt& s = *(*q)->branches[0];
+  ASSERT_NE(s.gapply_pgq, nullptr);
+  EXPECT_EQ(s.gapply_pgq->branches.size(), 2u);
+  EXPECT_EQ(s.group_var, "tmpsupp");
+  EXPECT_EQ(s.group_by.size(), 1u);
+}
+
+TEST(ParserTest, GApplyWithColumnNames) {
+  auto q = Parse(
+      "select gapply(select count(*) from g) as (cnt) "
+      "from partsupp group by ps_suppkey : g");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ((*q)->branches[0]->gapply_names,
+            (std::vector<std::string>{"cnt"}));
+}
+
+TEST(ParserTest, SubqueriesAndExists) {
+  auto q = Parse(
+      "select s_suppkey from supplier where "
+      "exists (select ps_suppkey from partsupp where ps_suppkey = s_suppkey)"
+      " and s_acctbal > (select avg(s_acctbal) from supplier)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SqlExpr& where = *(*q)->branches[0]->where;
+  ASSERT_EQ(where.kind, SqlExprKind::kBinary);
+  EXPECT_EQ(where.binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(where.left->kind, SqlExprKind::kExists);
+  EXPECT_EQ(where.right->right->kind, SqlExprKind::kScalarSubquery);
+}
+
+TEST(ParserTest, NotExists) {
+  auto q = Parse("select a from t where not exists (select b from u)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SqlExpr& where = *(*q)->branches[0]->where;
+  EXPECT_EQ(where.kind, SqlExprKind::kExists);
+  EXPECT_TRUE(where.negated);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  auto q = Parse("select a from t where a + 2 * b >= 10 and not c = 1 or d "
+                 "is not null");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const SqlExpr& where = *(*q)->branches[0]->where;
+  // Top is OR.
+  EXPECT_EQ(where.binary_op, BinaryOp::kOr);
+  // OR's left is AND; AND's left is >=; >='s left is a + (2*b).
+  const SqlExpr& ge = *where.left->left;
+  EXPECT_EQ(ge.binary_op, BinaryOp::kGe);
+  EXPECT_EQ(ge.left->binary_op, BinaryOp::kAdd);
+  EXPECT_EQ(ge.left->right->binary_op, BinaryOp::kMultiply);
+  // OR's right: IS NOT NULL.
+  EXPECT_EQ(where.right->kind, SqlExprKind::kUnary);
+  EXPECT_EQ(where.right->unary_op, UnaryOp::kIsNotNull);
+}
+
+TEST(ParserTest, ErrorMessagesCarryOffsets) {
+  auto q = Parse("select from t");
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("offset"), std::string::npos);
+  EXPECT_FALSE(Parse("select a t").ok());          // missing FROM
+  EXPECT_FALSE(Parse("select a from t where").ok());
+  EXPECT_FALSE(Parse("select a from t group by").ok());
+  EXPECT_FALSE(Parse("select gapply(select 1 from g from t").ok());
+  EXPECT_FALSE(Parse("select a from t; extra").ok());
+}
+
+TEST(ParserTest, LiteralForms) {
+  auto q = Parse("select 1, -2.5, 'x', null, true, false from t");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  const auto& items = (*q)->branches[0]->items;
+  EXPECT_EQ(items[0].expr->literal.int_val(), 1);
+  EXPECT_EQ(items[1].expr->kind, SqlExprKind::kUnary);  // unary minus
+  EXPECT_EQ(items[3].expr->literal.type(), TypeId::kNull);
+  EXPECT_EQ(items[4].expr->literal.bool_val(), true);
+}
+
+}  // namespace
+}  // namespace gapply::sql

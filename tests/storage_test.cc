@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/storage/catalog.h"
+#include "src/storage/schema.h"
+#include "src/storage/table.h"
+
+namespace gapply {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema({{"id", TypeId::kInt64, "t"}, {"name", TypeId::kString, "t"}});
+}
+
+TEST(SchemaTest, ResolveByNameAndQualifier) {
+  Schema s({{"id", TypeId::kInt64, "a"},
+            {"id", TypeId::kInt64, "b"},
+            {"x", TypeId::kDouble, "a"}});
+  EXPECT_EQ(*s.Resolve("x"), 2);
+  EXPECT_EQ(*s.Resolve("id", "a"), 0);
+  EXPECT_EQ(*s.Resolve("id", "b"), 1);
+  // Unqualified "id" is ambiguous.
+  Result<int> r = s.Resolve("id");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Missing column.
+  EXPECT_EQ(s.Resolve("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ResolveIsCaseInsensitive) {
+  Schema s = TwoColSchema();
+  EXPECT_EQ(*s.Resolve("ID"), 0);
+  EXPECT_EQ(*s.Resolve("Name", "T"), 1);
+}
+
+TEST(SchemaTest, ConcatAndRequalify) {
+  Schema left({{"a", TypeId::kInt64, "l"}});
+  Schema right({{"b", TypeId::kString, "r"}});
+  Schema joined = Schema::Concat(left, right);
+  ASSERT_EQ(joined.num_columns(), 2u);
+  EXPECT_EQ(joined.column(0).name, "a");
+  EXPECT_EQ(joined.column(1).qualifier, "r");
+
+  Schema aliased = joined.WithQualifier("sub");
+  EXPECT_EQ(aliased.column(0).qualifier, "sub");
+  EXPECT_EQ(aliased.column(1).qualifier, "sub");
+}
+
+TEST(SchemaTest, EquivalentToIgnoresQualifiers) {
+  Schema a({{"x", TypeId::kInt64, "t1"}});
+  Schema b({{"X", TypeId::kInt64, "t2"}});
+  Schema c({{"x", TypeId::kDouble, "t1"}});
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_FALSE(a.EquivalentTo(c));
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table t("t", TwoColSchema());
+  EXPECT_TRUE(t.Append({Value::Int(1), Value::Str("a")}).ok());
+  EXPECT_FALSE(t.Append({Value::Int(1)}).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, AppendChecksTypesAndWidensInts) {
+  Table t("t", Schema({{"v", TypeId::kDouble, "t"}}));
+  EXPECT_TRUE(t.Append({Value::Int(3)}).ok());
+  EXPECT_EQ(t.rows()[0][0].type(), TypeId::kDouble);
+  EXPECT_TRUE(t.Append({Value::Null()}).ok());
+  EXPECT_FALSE(t.Append({Value::Str("x")}).ok());
+}
+
+TEST(CatalogTest, AddAndLookupTables) {
+  Catalog catalog;
+  ASSERT_TRUE(
+      catalog.AddTable(std::make_unique<Table>("T1", TwoColSchema())).ok());
+  EXPECT_NE(catalog.FindTable("t1"), nullptr);  // case-insensitive
+  EXPECT_EQ(catalog.FindTable("t2"), nullptr);
+  EXPECT_FALSE(
+      catalog.AddTable(std::make_unique<Table>("t1", TwoColSchema())).ok());
+  ASSERT_TRUE(catalog.GetTable("T1").ok());
+  EXPECT_EQ(catalog.GetTable("zzz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ForeignKeyValidation) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(std::make_unique<Table>(
+                      "parent", Schema({{"pk", TypeId::kInt64, "parent"}})))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddTable(std::make_unique<Table>(
+                      "child", Schema({{"fk", TypeId::kInt64, "child"}})))
+                  .ok());
+  ASSERT_TRUE(catalog.SetPrimaryKey("parent", {"pk"}).ok());
+  EXPECT_TRUE(
+      catalog.AddForeignKey({"child", {"fk"}, "parent", {"pk"}}).ok());
+  // Bad column.
+  EXPECT_FALSE(
+      catalog.AddForeignKey({"child", {"bad"}, "parent", {"pk"}}).ok());
+  // Mismatched lengths.
+  EXPECT_FALSE(
+      catalog.AddForeignKey({"child", {"fk"}, "parent", {}}).ok());
+}
+
+TEST(CatalogTest, IsForeignKeyJoinRequiresParentPrimaryKey) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(std::make_unique<Table>(
+                      "parent", Schema({{"pk", TypeId::kInt64, "parent"},
+                                        {"other", TypeId::kInt64, "parent"}})))
+                  .ok());
+  ASSERT_TRUE(catalog
+                  .AddTable(std::make_unique<Table>(
+                      "child", Schema({{"fk", TypeId::kInt64, "child"}})))
+                  .ok());
+  ASSERT_TRUE(catalog.SetPrimaryKey("parent", {"pk"}).ok());
+  ASSERT_TRUE(
+      catalog.AddForeignKey({"child", {"fk"}, "parent", {"pk"}}).ok());
+
+  EXPECT_TRUE(catalog.IsForeignKeyJoin("child", {"fk"}, "parent", {"pk"}));
+  // Joining on a non-key parent column is not a foreign-key join.
+  EXPECT_FALSE(
+      catalog.IsForeignKeyJoin("child", {"fk"}, "parent", {"other"}));
+  // No declared FK in this direction.
+  EXPECT_FALSE(catalog.IsForeignKeyJoin("parent", {"pk"}, "child", {"fk"}));
+}
+
+}  // namespace
+}  // namespace gapply

@@ -1,0 +1,83 @@
+#ifndef GAPPLY_TESTS_TEST_UTIL_H_
+#define GAPPLY_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/exec/physical_op.h"
+#include "src/storage/table.h"
+
+namespace gapply::tutil {
+
+/// Builds an in-memory table; aborts the test on append failure.
+inline std::unique_ptr<Table> MakeTable(const std::string& name,
+                                        Schema schema,
+                                        std::vector<Row> rows) {
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  for (Row& row : rows) {
+    Status st = table->Append(std::move(row));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return table;
+}
+
+/// Executes a plan with a fresh context; fails the test on error.
+inline QueryResult RunPlan(PhysOp* root) {
+  ExecContext ctx;
+  Result<QueryResult> r = ExecuteToVector(root, &ctx);
+  EXPECT_TRUE(r.ok()) << (r.ok() ? "" : r.status().ToString());
+  return r.ok() ? std::move(r).value() : QueryResult{};
+}
+
+/// Asserts that executing `root` yields exactly `expected` as a multiset.
+inline void ExpectRows(PhysOp* root, const std::vector<Row>& expected) {
+  QueryResult result = RunPlan(root);
+  EXPECT_TRUE(SameRowMultiset(result.rows, expected))
+      << "got:\n"
+      << result.ToString() << "\nexpected " << expected.size() << " rows";
+}
+
+/// Random (key, payload-int, payload-double) rows with `num_keys` distinct
+/// keys — the canonical grouped workload used by property tests.
+inline std::vector<Row> RandomGroupedRows(Rng* rng, int num_rows,
+                                          int num_keys,
+                                          double null_fraction = 0.0) {
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(num_rows));
+  for (int i = 0; i < num_rows; ++i) {
+    Row row;
+    row.push_back(Value::Int(rng->UniformInt(1, num_keys)));
+    if (rng->Bernoulli(null_fraction)) {
+      row.push_back(Value::Null());
+    } else {
+      row.push_back(Value::Int(rng->UniformInt(0, 100)));
+    }
+    row.push_back(Value::Double(rng->UniformDouble(0.0, 1000.0)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+/// Schema matching RandomGroupedRows.
+inline Schema GroupedSchema() {
+  return Schema({{"k", TypeId::kInt64, "t"},
+                 {"v", TypeId::kInt64, "t"},
+                 {"d", TypeId::kDouble, "t"}});
+}
+
+}  // namespace gapply::tutil
+
+/// ASSERT-style unwrap of a Result<T> inside a test body.
+#define ASSIGN_OR_FAIL(lhs, rexpr) \
+  ASSIGN_OR_FAIL_IMPL(GAPPLY_CONCAT(_test_res_, __LINE__), lhs, rexpr)
+
+#define ASSIGN_OR_FAIL_IMPL(tmp, lhs, rexpr)        \
+  auto tmp = (rexpr);                               \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString(); \
+  lhs = std::move(tmp).value()
+
+#endif  // GAPPLY_TESTS_TEST_UTIL_H_

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "src/engine/database.h"
+#include "src/plan/builder.h"
+#include "src/xml/tagger.h"
+#include "src/xml/view.h"
+#include "src/xml/xquery.h"
+#include "tests/test_util.h"
+
+namespace gapply {
+namespace {
+
+class XmlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    tpch::TpchConfig config;
+    config.scale_factor = 0.001;  // 10 suppliers, 200 parts, 800 partsupp
+    ASSERT_TRUE(db_.LoadTpch(config).ok());
+  }
+
+  Database db_;
+};
+
+TEST_F(XmlTest, SortedOuterUnionShape) {
+  ASSIGN_OR_FAIL(xml::XmlView view,
+                 xml::MakeSupplierPartsView(*db_.catalog()));
+  ASSIGN_OR_FAIL(xml::SouqPlan souq, xml::BuildSortedOuterUnion(view));
+  ASSERT_EQ(souq.nodes.size(), 2u);
+  EXPECT_EQ(souq.nodes[0].element_name, "supplier");
+  EXPECT_EQ(souq.nodes[1].element_name, "part");
+  EXPECT_EQ(souq.nodes[1].parent, 0);
+  EXPECT_EQ(souq.num_key_slots, 2);  // supplier key + part key
+
+  QueryOptions options;
+  ASSIGN_OR_FAIL(QueryResult result, db_.Execute(*souq.plan, options));
+  // 10 supplier rows + 800 part rows.
+  EXPECT_EQ(result.rows.size(), 810u);
+
+  // Clustered: every part row follows its supplier row; supplier keys are
+  // non-decreasing.
+  int64_t current_supplier = -1;
+  size_t suppliers_seen = 0;
+  for (const Row& row : result.rows) {
+    const int64_t node = row[0].int_val();
+    const int64_t sk = row[1].int_val();  // depth-0 key slot
+    if (node == 0) {
+      EXPECT_GT(sk, current_supplier);
+      current_supplier = sk;
+      ++suppliers_seen;
+    } else {
+      EXPECT_EQ(sk, current_supplier)
+          << "part row not nested under the open supplier";
+    }
+  }
+  EXPECT_EQ(suppliers_seen, 10u);
+}
+
+TEST_F(XmlTest, ConstantSpaceTaggerProducesWellFormedXml) {
+  ASSIGN_OR_FAIL(xml::XmlView view,
+                 xml::MakeSupplierPartsView(*db_.catalog()));
+  ASSIGN_OR_FAIL(xml::SouqPlan souq, xml::BuildSortedOuterUnion(view));
+  ASSIGN_OR_FAIL(QueryResult result, db_.Execute(*souq.plan, QueryOptions{}));
+
+  std::string doc;
+  xml::Tagger tagger(souq, [&](const std::string& s) { doc += s; });
+  tagger.Begin(view.root_element);
+  for (const Row& row : result.rows) {
+    ASSERT_TRUE(tagger.Feed(row).ok());
+  }
+  ASSERT_TRUE(tagger.Finish().ok());
+
+  // Structural checks: balanced tags, right counts.
+  auto count = [&](const std::string& needle) {
+    size_t n = 0, pos = 0;
+    while ((pos = doc.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<suppliers>"), 1u);
+  EXPECT_EQ(count("</suppliers>"), 1u);
+  EXPECT_EQ(count("<supplier>"), 10u);
+  EXPECT_EQ(count("</supplier>"), 10u);
+  EXPECT_EQ(count("<part>"), 800u);
+  EXPECT_EQ(count("</part>"), 800u);
+  EXPECT_EQ(count("<p_name>"), 800u);
+  EXPECT_EQ(count("<s_name>"), 10u);
+  // Nesting: first part appears after first supplier.
+  EXPECT_LT(doc.find("<supplier>"), doc.find("<part>"));
+}
+
+TEST_F(XmlTest, TaggerEscapesSpecialCharacters) {
+  EXPECT_EQ(xml::EscapeXml("a<b>&c"), "a&lt;b&gt;&amp;c");
+}
+
+// ---------------------------------------------------------------------------
+// XQuery-lite translations.
+// ---------------------------------------------------------------------------
+
+xml::FlwrViewBinding SupplierPartsBinding() {
+  xml::FlwrViewBinding view;
+  view.child_from = "partsupp, part";
+  view.child_where = "ps_partkey = p_partkey";
+  view.parent_key = "ps_suppkey";
+  view.key_table = "partsupp";
+  return view;
+}
+
+TEST_F(XmlTest, XQueryQ1TranslationsAgree) {
+  // Paper Q1: per supplier, (p_name, p_retailprice) pairs + avg price.
+  xml::FlwrQuery q1;
+  {
+    xml::FlwrReturnItem parts;
+    parts.kind = xml::FlwrReturnItem::Kind::kChildColumns;
+    parts.columns = {"p_name", "p_retailprice"};
+    q1.ret.push_back(parts);
+    xml::FlwrReturnItem avg;
+    avg.kind = xml::FlwrReturnItem::Kind::kAggregate;
+    avg.agg = AggKind::kAvg;
+    avg.agg_column = "p_retailprice";
+    q1.ret.push_back(avg);
+  }
+  ASSIGN_OR_FAIL(std::string gapply_sql,
+                 xml::TranslateToGApplySql(q1, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(std::string baseline_sql,
+                 xml::TranslateToOuterUnionSql(q1, SupplierPartsBinding()));
+
+  ASSIGN_OR_FAIL(QueryResult with_gapply, db_.Query(gapply_sql));
+  ASSIGN_OR_FAIL(QueryResult baseline, db_.Query(baseline_sql));
+  EXPECT_EQ(with_gapply.rows.size(), 810u);
+  // Both translations emit (key, p_name, p_retailprice, avg) rows.
+  EXPECT_TRUE(SameRowMultiset(with_gapply.rows, baseline.rows))
+      << gapply_sql << "\n--vs--\n"
+      << baseline_sql;
+}
+
+TEST_F(XmlTest, XQueryQ2TranslationsAgree) {
+  // Paper Q2: counts above/below the per-supplier average price.
+  xml::FlwrQuery q2;
+  for (BinaryOp cmp : {BinaryOp::kGe, BinaryOp::kLt}) {
+    xml::FlwrReturnItem item;
+    item.kind = xml::FlwrReturnItem::Kind::kCountCompareAgg;
+    item.agg = AggKind::kAvg;
+    item.agg_column = "p_retailprice";
+    item.cmp = cmp;
+    q2.ret.push_back(item);
+  }
+  ASSIGN_OR_FAIL(std::string gapply_sql,
+                 xml::TranslateToGApplySql(q2, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(std::string baseline_sql,
+                 xml::TranslateToOuterUnionSql(q2, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(QueryResult with_gapply, db_.Query(gapply_sql));
+  ASSIGN_OR_FAIL(QueryResult baseline, db_.Query(baseline_sql));
+  EXPECT_EQ(with_gapply.rows.size(), 20u);
+  EXPECT_TRUE(SameRowMultiset(with_gapply.rows, baseline.rows))
+      << gapply_sql << "\n--vs--\n"
+      << baseline_sql;
+}
+
+TEST_F(XmlTest, XQueryGroupSelectionTranslations) {
+  // §4.2: suppliers supplying some part priced above a cutoff; return the
+  // whole element.
+  xml::FlwrQuery q;
+  q.where.kind = xml::FlwrCondKind::kSomeChild;
+  q.where.column = "p_retailprice";
+  q.where.op = BinaryOp::kGt;
+  q.where.literal = Value::Double(1099.0);  // only the most expensive part
+
+  ASSIGN_OR_FAIL(std::string gapply_sql,
+                 xml::TranslateToGApplySql(q, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(std::string baseline_sql,
+                 xml::TranslateToOuterUnionSql(q, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(QueryResult with_gapply, db_.Query(gapply_sql));
+  ASSIGN_OR_FAIL(QueryResult baseline, db_.Query(baseline_sql));
+  // gapply output carries the key prefix; baseline is the bare rows — the
+  // row *counts* must agree (whole qualifying groups).
+  EXPECT_EQ(with_gapply.rows.size(), baseline.rows.size());
+  EXPECT_GT(with_gapply.rows.size(), 0u);
+  EXPECT_LT(with_gapply.rows.size(), 800u);  // predicate filters something
+}
+
+TEST_F(XmlTest, XQueryAggregateSelectionTranslations) {
+  xml::FlwrQuery q;
+  q.where.kind = xml::FlwrCondKind::kAggCompare;
+  q.where.agg = AggKind::kAvg;
+  q.where.column = "p_retailprice";
+  q.where.op = BinaryOp::kGt;
+  q.where.literal = Value::Double(1000.0);
+
+  ASSIGN_OR_FAIL(std::string gapply_sql,
+                 xml::TranslateToGApplySql(q, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(std::string baseline_sql,
+                 xml::TranslateToOuterUnionSql(q, SupplierPartsBinding()));
+  ASSIGN_OR_FAIL(QueryResult with_gapply, db_.Query(gapply_sql));
+  ASSIGN_OR_FAIL(QueryResult baseline, db_.Query(baseline_sql));
+  EXPECT_EQ(with_gapply.rows.size(), baseline.rows.size());
+}
+
+TEST_F(XmlTest, TranslatorRejectsUnsupportedCombination) {
+  xml::FlwrQuery q;
+  q.where.kind = xml::FlwrCondKind::kSomeChild;
+  q.where.column = "p_retailprice";
+  q.where.literal = Value::Double(1.0);
+  xml::FlwrReturnItem item;
+  item.kind = xml::FlwrReturnItem::Kind::kChildColumns;
+  item.columns = {"p_name"};
+  q.ret.push_back(item);
+  EXPECT_FALSE(xml::TranslateToGApplySql(q, SupplierPartsBinding()).ok());
+
+  xml::FlwrQuery empty;
+  EXPECT_FALSE(xml::TranslateToGApplySql(empty, SupplierPartsBinding()).ok());
+}
+
+
+TEST_F(XmlTest, ThreeLevelViewNestsCorrectly) {
+  // nation → supplier → part: exercises multi-depth key slots, ancestor
+  // chains, and tagger nesting beyond the paper's two-level Figure 1.
+  xml::XmlView view;
+  view.root_element = "nations";
+  auto nation = std::make_unique<xml::ViewNode>();
+  nation->element_name = "nation";
+  ASSIGN_OR_FAIL(nation->query, PlanBuilder::Scan(*db_.catalog(), "nation")
+                                    .Project({"n_nationkey", "n_name"})
+                                    .Build());
+  nation->element_keys = {"n_nationkey"};
+  nation->content_columns = {"n_name"};
+
+  auto supplier = std::make_unique<xml::ViewNode>();
+  supplier->element_name = "supplier";
+  ASSIGN_OR_FAIL(supplier->query,
+                 PlanBuilder::Scan(*db_.catalog(), "supplier")
+                     .Project({"s_suppkey", "s_nationkey", "s_name"})
+                     .Build());
+  supplier->parent_keys = {"n_nationkey"};
+  supplier->child_keys = {"s_nationkey"};
+  supplier->element_keys = {"s_suppkey"};
+  supplier->content_columns = {"s_name"};
+
+  auto part = std::make_unique<xml::ViewNode>();
+  part->element_name = "part";
+  ASSIGN_OR_FAIL(
+      part->query,
+      PlanBuilder::Scan(*db_.catalog(), "partsupp")
+          .Join(PlanBuilder::Scan(*db_.catalog(), "part"), {"ps_partkey"},
+                {"p_partkey"})
+          .Project({"ps_suppkey", "p_partkey", "p_name"})
+          .Build());
+  part->parent_keys = {"s_suppkey"};
+  part->child_keys = {"ps_suppkey"};
+  part->element_keys = {"p_partkey"};
+  part->content_columns = {"p_name"};
+
+  supplier->children.push_back(std::move(part));
+  nation->children.push_back(std::move(supplier));
+  view.top = std::move(nation);
+
+  ASSIGN_OR_FAIL(xml::SouqPlan souq, xml::BuildSortedOuterUnion(view));
+  ASSERT_EQ(souq.nodes.size(), 3u);
+  EXPECT_EQ(souq.num_key_slots, 3);
+  EXPECT_EQ(souq.nodes[2].depth, 2);
+  EXPECT_EQ(souq.nodes[2].parent, 1);
+
+  ASSIGN_OR_FAIL(QueryResult rows, db_.Execute(*souq.plan, QueryOptions{}));
+  // 25 nations + 10 suppliers + 800 parts.
+  EXPECT_EQ(rows.rows.size(), 835u);
+
+  std::string doc;
+  xml::Tagger tagger(souq, [&](const std::string& t) { doc += t; });
+  tagger.Begin(view.root_element);
+  for (const Row& row : rows.rows) ASSERT_TRUE(tagger.Feed(row).ok());
+  ASSERT_TRUE(tagger.Finish().ok());
+
+  auto count = [&](const std::string& needle) {
+    size_t n = 0, pos = 0;
+    while ((pos = doc.find(needle, pos)) != std::string::npos) {
+      ++n;
+      pos += needle.size();
+    }
+    return n;
+  };
+  EXPECT_EQ(count("<nation>"), 25u);
+  EXPECT_EQ(count("</nation>"), 25u);
+  EXPECT_EQ(count("<supplier>"), 10u);
+  EXPECT_EQ(count("<part>"), 800u);
+  // Every supplier sits inside a nation, every part inside a supplier.
+  EXPECT_LT(doc.find("<nation>"), doc.find("<supplier>"));
+  EXPECT_LT(doc.find("<supplier>"), doc.find("<part>"));
+}
+
+}  // namespace
+}  // namespace gapply
