@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_simulation.dir/bench_client_simulation.cc.o"
+  "CMakeFiles/bench_client_simulation.dir/bench_client_simulation.cc.o.d"
+  "bench_client_simulation"
+  "bench_client_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_partition_modes.dir/bench_partition_modes.cc.o"
+  "CMakeFiles/bench_partition_modes.dir/bench_partition_modes.cc.o.d"
+  "bench_partition_modes"
+  "bench_partition_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_partition_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_q4_rewrite.dir/bench_q4_rewrite.cc.o"
+  "CMakeFiles/bench_q4_rewrite.dir/bench_q4_rewrite.cc.o.d"
+  "bench_q4_rewrite"
+  "bench_q4_rewrite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_q4_rewrite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

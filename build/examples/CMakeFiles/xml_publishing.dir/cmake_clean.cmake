@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_publishing.dir/xml_publishing.cpp.o"
+  "CMakeFiles/xml_publishing.dir/xml_publishing.cpp.o.d"
+  "xml_publishing"
+  "xml_publishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_publishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

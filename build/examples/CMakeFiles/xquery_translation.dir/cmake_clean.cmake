@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_translation.dir/xquery_translation.cpp.o"
+  "CMakeFiles/xquery_translation.dir/xquery_translation.cpp.o.d"
+  "xquery_translation"
+  "xquery_translation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_translation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

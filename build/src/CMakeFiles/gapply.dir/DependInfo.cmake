@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/gapply.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/gapply.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gapply.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gapply.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/gapply.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/gapply.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/gapply.dir/common/value.cc.o" "gcc" "src/CMakeFiles/gapply.dir/common/value.cc.o.d"
+  "/root/repo/src/core/analyses.cc" "src/CMakeFiles/gapply.dir/core/analyses.cc.o" "gcc" "src/CMakeFiles/gapply.dir/core/analyses.cc.o.d"
+  "/root/repo/src/core/gapply_to_groupby.cc" "src/CMakeFiles/gapply.dir/core/gapply_to_groupby.cc.o" "gcc" "src/CMakeFiles/gapply.dir/core/gapply_to_groupby.cc.o.d"
+  "/root/repo/src/core/group_selection.cc" "src/CMakeFiles/gapply.dir/core/group_selection.cc.o" "gcc" "src/CMakeFiles/gapply.dir/core/group_selection.cc.o.d"
+  "/root/repo/src/core/invariant_grouping.cc" "src/CMakeFiles/gapply.dir/core/invariant_grouping.cc.o" "gcc" "src/CMakeFiles/gapply.dir/core/invariant_grouping.cc.o.d"
+  "/root/repo/src/core/outer_push_rules.cc" "src/CMakeFiles/gapply.dir/core/outer_push_rules.cc.o" "gcc" "src/CMakeFiles/gapply.dir/core/outer_push_rules.cc.o.d"
+  "/root/repo/src/core/pgq_push_rules.cc" "src/CMakeFiles/gapply.dir/core/pgq_push_rules.cc.o" "gcc" "src/CMakeFiles/gapply.dir/core/pgq_push_rules.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/gapply.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/gapply.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/agg_ops.cc" "src/CMakeFiles/gapply.dir/exec/agg_ops.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/agg_ops.cc.o.d"
+  "/root/repo/src/exec/apply_ops.cc" "src/CMakeFiles/gapply.dir/exec/apply_ops.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/apply_ops.cc.o.d"
+  "/root/repo/src/exec/filter_project_ops.cc" "src/CMakeFiles/gapply.dir/exec/filter_project_ops.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/filter_project_ops.cc.o.d"
+  "/root/repo/src/exec/gapply_op.cc" "src/CMakeFiles/gapply.dir/exec/gapply_op.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/gapply_op.cc.o.d"
+  "/root/repo/src/exec/join_ops.cc" "src/CMakeFiles/gapply.dir/exec/join_ops.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/join_ops.cc.o.d"
+  "/root/repo/src/exec/lowering.cc" "src/CMakeFiles/gapply.dir/exec/lowering.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/lowering.cc.o.d"
+  "/root/repo/src/exec/physical_op.cc" "src/CMakeFiles/gapply.dir/exec/physical_op.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/physical_op.cc.o.d"
+  "/root/repo/src/exec/scan_ops.cc" "src/CMakeFiles/gapply.dir/exec/scan_ops.cc.o" "gcc" "src/CMakeFiles/gapply.dir/exec/scan_ops.cc.o.d"
+  "/root/repo/src/expr/aggregate.cc" "src/CMakeFiles/gapply.dir/expr/aggregate.cc.o" "gcc" "src/CMakeFiles/gapply.dir/expr/aggregate.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/gapply.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/gapply.dir/expr/expr.cc.o.d"
+  "/root/repo/src/optimizer/classic_rules.cc" "src/CMakeFiles/gapply.dir/optimizer/classic_rules.cc.o" "gcc" "src/CMakeFiles/gapply.dir/optimizer/classic_rules.cc.o.d"
+  "/root/repo/src/optimizer/cost_model.cc" "src/CMakeFiles/gapply.dir/optimizer/cost_model.cc.o" "gcc" "src/CMakeFiles/gapply.dir/optimizer/cost_model.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/gapply.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/gapply.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/plan/builder.cc" "src/CMakeFiles/gapply.dir/plan/builder.cc.o" "gcc" "src/CMakeFiles/gapply.dir/plan/builder.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/gapply.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/gapply.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/plan/plan_utils.cc" "src/CMakeFiles/gapply.dir/plan/plan_utils.cc.o" "gcc" "src/CMakeFiles/gapply.dir/plan/plan_utils.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/gapply.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/gapply.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/gapply.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/gapply.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/gapply.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/gapply.dir/sql/parser.cc.o.d"
+  "/root/repo/src/stats/stats.cc" "src/CMakeFiles/gapply.dir/stats/stats.cc.o" "gcc" "src/CMakeFiles/gapply.dir/stats/stats.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/gapply.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/gapply.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/gapply.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/gapply.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/gapply.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/gapply.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpch/tpch_gen.cc" "src/CMakeFiles/gapply.dir/tpch/tpch_gen.cc.o" "gcc" "src/CMakeFiles/gapply.dir/tpch/tpch_gen.cc.o.d"
+  "/root/repo/src/xml/tagger.cc" "src/CMakeFiles/gapply.dir/xml/tagger.cc.o" "gcc" "src/CMakeFiles/gapply.dir/xml/tagger.cc.o.d"
+  "/root/repo/src/xml/view.cc" "src/CMakeFiles/gapply.dir/xml/view.cc.o" "gcc" "src/CMakeFiles/gapply.dir/xml/view.cc.o.d"
+  "/root/repo/src/xml/xquery.cc" "src/CMakeFiles/gapply.dir/xml/xquery.cc.o" "gcc" "src/CMakeFiles/gapply.dir/xml/xquery.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common_util_test.cc" "tests/CMakeFiles/gapply_tests.dir/common_util_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/common_util_test.cc.o.d"
+  "/root/repo/tests/common_value_test.cc" "tests/CMakeFiles/gapply_tests.dir/common_value_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/common_value_test.cc.o.d"
+  "/root/repo/tests/core_analyses_test.cc" "tests/CMakeFiles/gapply_tests.dir/core_analyses_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/core_analyses_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/gapply_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/engine_test.cc" "tests/CMakeFiles/gapply_tests.dir/engine_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/engine_test.cc.o.d"
+  "/root/repo/tests/exec_edge_cases_test.cc" "tests/CMakeFiles/gapply_tests.dir/exec_edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/exec_edge_cases_test.cc.o.d"
+  "/root/repo/tests/exec_gapply_test.cc" "tests/CMakeFiles/gapply_tests.dir/exec_gapply_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/exec_gapply_test.cc.o.d"
+  "/root/repo/tests/exec_ops_test.cc" "tests/CMakeFiles/gapply_tests.dir/exec_ops_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/exec_ops_test.cc.o.d"
+  "/root/repo/tests/optimizer_property_test.cc" "tests/CMakeFiles/gapply_tests.dir/optimizer_property_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/optimizer_property_test.cc.o.d"
+  "/root/repo/tests/optimizer_rules_test.cc" "tests/CMakeFiles/gapply_tests.dir/optimizer_rules_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/optimizer_rules_test.cc.o.d"
+  "/root/repo/tests/plan_test.cc" "tests/CMakeFiles/gapply_tests.dir/plan_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/plan_test.cc.o.d"
+  "/root/repo/tests/sql_binder_test.cc" "tests/CMakeFiles/gapply_tests.dir/sql_binder_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/sql_binder_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/gapply_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/gapply_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tpch_gen_test.cc" "tests/CMakeFiles/gapply_tests.dir/tpch_gen_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/tpch_gen_test.cc.o.d"
+  "/root/repo/tests/xml_test.cc" "tests/CMakeFiles/gapply_tests.dir/xml_test.cc.o" "gcc" "tests/CMakeFiles/gapply_tests.dir/xml_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gapply.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
