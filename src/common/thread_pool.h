@@ -1,0 +1,62 @@
+#ifndef GAPPLY_COMMON_THREAD_POOL_H_
+#define GAPPLY_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gapply {
+
+/// \brief A small fixed-size worker pool for intra-operator parallelism.
+///
+/// Tasks submitted with `Submit` run on one of `num_threads` workers in FIFO
+/// order. The pool is reusable: `WaitIdle` blocks until every submitted task
+/// has finished, after which more tasks may be submitted. The destructor
+/// drains the queue (runs everything already submitted) before joining.
+///
+/// The pool makes no attempt at work stealing or task priorities — callers
+/// that need balanced fan-out (e.g. the parallel GApply executor) submit one
+/// long-lived task per worker and distribute fine-grained work through a
+/// shared atomic cursor, which keeps queue traffic off the hot path.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Runs all remaining queued tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return threads_.size(); }
+
+  /// Enqueues `task`. Must not be called concurrently with the destructor.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  /// The degree of parallelism to use when the caller asks for "all the
+  /// hardware": std::thread::hardware_concurrency(), clamped to at least 1.
+  static size_t DefaultParallelism();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: task queued / shutdown
+  std::condition_variable idle_cv_;  // signals WaitIdle: a task finished
+  size_t active_ = 0;                // tasks currently executing
+  bool shutdown_ = false;
+};
+
+}  // namespace gapply
+
+#endif  // GAPPLY_COMMON_THREAD_POOL_H_

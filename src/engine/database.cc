@@ -1,5 +1,9 @@
 #include "src/engine/database.h"
 
+#include <algorithm>
+
+#include "src/common/thread_pool.h"
+
 namespace gapply {
 
 Status Database::LoadTpch(const tpch::TpchConfig& config) {
@@ -11,9 +15,34 @@ Result<LogicalOpPtr> Database::Plan(const std::string& sql) const {
   return sql::ParseAndBind(catalog_, sql);
 }
 
+void Database::set_default_gapply_parallelism(size_t dop) {
+  // 0 = "all the hardware", mirroring SQL Server's MAXDOP 0.
+  default_gapply_parallelism_ =
+      dop == 0 ? ThreadPool::DefaultParallelism() : dop;
+}
+
+Status Database::ApplySetStatement(const sql::SetStatement& stmt) {
+  if (stmt.name == "parallelism" || stmt.name == "gapply_parallelism") {
+    if (stmt.value < 0) {
+      return Status::InvalidArgument(
+          "SET " + stmt.name + ": value must be >= 0, got " +
+          std::to_string(stmt.value));
+    }
+    set_default_gapply_parallelism(static_cast<size_t>(stmt.value));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown session option: " + stmt.name);
+}
+
 Result<QueryResult> Database::Query(const std::string& sql,
                                     const QueryOptions& options,
                                     QueryStats* stats_out) {
+  ASSIGN_OR_RETURN(std::optional<sql::SetStatement> set_stmt,
+                   sql::TryParseSet(sql));
+  if (set_stmt.has_value()) {
+    RETURN_NOT_OK(ApplySetStatement(*set_stmt));
+    return QueryResult{};
+  }
   ASSIGN_OR_RETURN(LogicalOpPtr plan, Plan(sql));
   return Execute(*plan, options, stats_out);
 }
@@ -29,7 +58,11 @@ Result<QueryResult> Database::Execute(const LogicalOp& plan,
       stats_out->fired_rules = optimizer.fired_rules();
     }
   }
-  ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, options.lowering));
+  LoweringOptions lowering = options.lowering;
+  if (lowering.gapply_parallelism == 0) {
+    lowering.gapply_parallelism = default_gapply_parallelism_;
+  }
+  ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, lowering));
   ExecContext ctx;
   ASSIGN_OR_RETURN(QueryResult result, ExecuteToVector(phys.get(), &ctx));
   if (stats_out != nullptr) stats_out->counters = ctx.counters();
@@ -53,7 +86,11 @@ Result<std::string> Database::Explain(const std::string& sql,
         out += r + "\n";
       }
     }
-    ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*optimized, options.lowering));
+    LoweringOptions lowering = options.lowering;
+    if (lowering.gapply_parallelism == 0) {
+      lowering.gapply_parallelism = default_gapply_parallelism_;
+    }
+    ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*optimized, lowering));
     out += "=== physical plan ===\n" + phys->DebugString();
   }
   return out;

@@ -7,6 +7,7 @@
 #include "src/exec/physical_op.h"
 #include "src/optimizer/optimizer.h"
 #include "src/sql/binder.h"
+#include "src/sql/parser.h"
 #include "src/stats/stats.h"
 #include "src/storage/catalog.h"
 #include "src/tpch/tpch_gen.h"
@@ -37,6 +38,11 @@ struct QueryStats {
 ///   auto result = db.Query(
 ///       "select gapply(select count(*) from g) "
 ///       "from partsupp group by ps_suppkey : g");
+///
+/// Session options: `Query` also accepts `SET parallelism = N` (N workers
+/// for every GApply's per-group phase; 1 = serial, 0 = all hardware
+/// threads), which persists for the session and applies to every subsequent
+/// query whose QueryOptions do not override it.
 class Database {
  public:
   Database() = default;
@@ -70,9 +76,20 @@ class Database {
   Result<std::string> Explain(const std::string& sql,
                               const QueryOptions& options = {});
 
+  /// Session default for GApply's degree of parallelism, applied to every
+  /// query whose QueryOptions leave `lowering.gapply_parallelism` at 0.
+  size_t default_gapply_parallelism() const {
+    return default_gapply_parallelism_;
+  }
+  void set_default_gapply_parallelism(size_t dop);
+
  private:
+  /// Applies a parsed `SET name = value` statement to the session.
+  Status ApplySetStatement(const sql::SetStatement& stmt);
+
   Catalog catalog_;
   StatsManager stats_;
+  size_t default_gapply_parallelism_ = 1;
 };
 
 }  // namespace gapply

@@ -197,6 +197,11 @@ Status StreamGroupByOp::Close(ExecContext* ctx) {
   return child_->Close(ctx);
 }
 
+PhysOpPtr HashGroupByOp::Clone() const {
+  return std::make_unique<HashGroupByOp>(child_->Clone(), key_columns_,
+                                         CloneAggregates(aggs_));
+}
+
 std::string StreamGroupByOp::DebugName() const {
   return "StreamGroupBy(aggs=[" + AggList(aggs_) + "])";
 }
@@ -229,6 +234,11 @@ Result<bool> ScalarAggOp::Next(ExecContext* ctx, Row* out) {
 
 Status ScalarAggOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
 
+PhysOpPtr StreamGroupByOp::Clone() const {
+  return std::make_unique<StreamGroupByOp>(child_->Clone(), key_columns_,
+                                           CloneAggregates(aggs_));
+}
+
 std::string ScalarAggOp::DebugName() const {
   return "ScalarAgg(" + AggList(aggs_) + ")";
 }
@@ -254,6 +264,15 @@ Status DistinctOp::Close(ExecContext* ctx) {
   return child_->Close(ctx);
 }
 
+PhysOpPtr ScalarAggOp::Clone() const {
+  return std::make_unique<ScalarAggOp>(child_->Clone(),
+                                       CloneAggregates(aggs_));
+}
+
 std::string DistinctOp::DebugName() const { return "Distinct"; }
+
+PhysOpPtr DistinctOp::Clone() const {
+  return std::make_unique<DistinctOp>(child_->Clone());
+}
 
 }  // namespace gapply

@@ -25,6 +25,7 @@ class HashGroupByOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
   /// Shared with StreamGroupByOp: keys' columns followed by agg outputs.
@@ -55,6 +56,7 @@ class StreamGroupByOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:
@@ -86,6 +88,7 @@ class ScalarAggOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:
@@ -104,6 +107,7 @@ class DistinctOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:

@@ -116,6 +116,11 @@ std::string ApplyOp::DebugName() const {
   return cache_inner_ ? "Apply(cached inner)" : "Apply";
 }
 
+PhysOpPtr ApplyOp::Clone() const {
+  return std::make_unique<ApplyOp>(outer_->Clone(), inner_->Clone(),
+                                   cache_inner_);
+}
+
 ExistsOp::ExistsOp(PhysOpPtr child, bool negated)
     : PhysOp(Schema()), child_(std::move(child)), negated_(negated) {}
 
@@ -137,6 +142,10 @@ Status ExistsOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
 
 std::string ExistsOp::DebugName() const {
   return negated_ ? "NotExists" : "Exists";
+}
+
+PhysOpPtr ExistsOp::Clone() const {
+  return std::make_unique<ExistsOp>(child_->Clone(), negated_);
 }
 
 Result<Schema> UnifySchemas(const std::vector<const Schema*>& schemas) {
@@ -210,6 +219,13 @@ Status UnionAllOp::Close(ExecContext* ctx) {
 
 std::string UnionAllOp::DebugName() const {
   return "UnionAll(" + std::to_string(children_.size()) + " branches)";
+}
+
+PhysOpPtr UnionAllOp::Clone() const {
+  std::vector<PhysOpPtr> branches;
+  branches.reserve(children_.size());
+  for (const PhysOpPtr& c : children_) branches.push_back(c->Clone());
+  return PhysOpPtr(new UnionAllOp(schema_, std::move(branches)));
 }
 
 std::vector<const PhysOp*> UnionAllOp::children() const {

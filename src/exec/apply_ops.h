@@ -30,6 +30,7 @@ class ApplyOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
     return {outer_.get(), inner_.get()};
   }
@@ -58,6 +59,7 @@ class ExistsOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:
@@ -77,6 +79,7 @@ class UnionAllOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override;
 
  private:

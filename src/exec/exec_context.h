@@ -25,6 +25,11 @@ namespace gapply {
 ///
 /// Also exposes execution counters the benches use to verify plan-structure
 /// claims (e.g., that a rule actually reduced scanned rows).
+///
+/// A context is owned by exactly one thread. Parallel operators (the
+/// parallel GApply path) give each worker a private context created with
+/// `ForkForWorker` and fold the workers' counters back into the parent with
+/// `Counters::MergeFrom` after the workers have been joined.
 class ExecContext {
  public:
   struct Counters {
@@ -35,7 +40,28 @@ class ExecContext {
     uint64_t rows_sorted = 0;
     uint64_t rows_hash_partitioned = 0;
 
+    // Per-phase GApply attribution (nanoseconds): time spent partitioning
+    // the outer input vs. executing per-group queries. For the parallel
+    // path, gapply_pgq_ns is the wall-clock time of the parallel section
+    // (not the sum of worker busy time).
+    uint64_t gapply_partition_ns = 0;
+    uint64_t gapply_pgq_ns = 0;
+
     void Reset() { *this = Counters(); }
+
+    /// Accumulates `other` into this set of counters. Used to fold
+    /// per-worker counters into the query's context so global counters stay
+    /// exact under parallel execution.
+    void MergeFrom(const Counters& other) {
+      rows_scanned += other.rows_scanned;
+      group_rows_scanned += other.group_rows_scanned;
+      pgq_executions += other.pgq_executions;
+      apply_invocations += other.apply_invocations;
+      rows_sorted += other.rows_sorted;
+      rows_hash_partitioned += other.rows_hash_partitioned;
+      gapply_partition_ns += other.gapply_partition_ns;
+      gapply_pgq_ns += other.gapply_pgq_ns;
+    }
   };
 
   EvalContext* eval() { return &eval_; }
@@ -69,6 +95,18 @@ class ExecContext {
       return Status::Internal("group variable not bound: " + var);
     }
     return it->second.back();
+  }
+
+  /// Snapshot for a parallel worker: copies the group-binding stacks and
+  /// the correlated-row stack (both hold non-owning pointers the parent
+  /// must keep alive for the worker's lifetime) and starts with zeroed
+  /// counters. The worker mutates only its own copy, so enclosing Apply /
+  /// GApply bindings stay visible while per-worker bindings stay private.
+  ExecContext ForkForWorker() const {
+    ExecContext child;
+    child.eval_ = eval_;
+    child.groups_ = groups_;
+    return child;
   }
 
  private:

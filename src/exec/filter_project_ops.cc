@@ -26,6 +26,10 @@ std::string FilterOp::DebugName() const {
   return "Filter(" + predicate_->ToString() + ")";
 }
 
+PhysOpPtr FilterOp::Clone() const {
+  return std::make_unique<FilterOp>(child_->Clone(), predicate_->Clone());
+}
+
 ProjectOp::ProjectOp(Schema schema, PhysOpPtr child,
                      std::vector<ExprPtr> exprs)
     : PhysOp(std::move(schema)),
@@ -70,6 +74,14 @@ std::string ProjectOp::DebugName() const {
   }
   out += ")";
   return out;
+}
+
+PhysOpPtr ProjectOp::Clone() const {
+  std::vector<ExprPtr> exprs;
+  exprs.reserve(exprs_.size());
+  for (const ExprPtr& e : exprs_) exprs.push_back(e->Clone());
+  return PhysOpPtr(
+      new ProjectOp(schema_, child_->Clone(), std::move(exprs)));
 }
 
 int CompareForSort(const Value& a, const Value& b) {
@@ -134,6 +146,10 @@ std::string SortOp::DebugName() const {
   }
   out += ")";
   return out;
+}
+
+PhysOpPtr SortOp::Clone() const {
+  return std::make_unique<SortOp>(child_->Clone(), keys_);
 }
 
 }  // namespace gapply

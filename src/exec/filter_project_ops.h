@@ -18,6 +18,7 @@ class FilterOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:
@@ -37,6 +38,7 @@ class ProjectOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:
@@ -66,6 +68,7 @@ class SortOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
  private:

@@ -1,8 +1,11 @@
 #include "src/exec/gapply_op.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <unordered_map>
 
+#include "src/common/thread_pool.h"
 #include "src/exec/filter_project_ops.h"
 
 namespace gapply {
@@ -26,6 +29,20 @@ Row ExtractKey(const Row& row, const std::vector<int>& cols) {
   return key;
 }
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void AppendPrefixed(const Row& key, const Row& suffix, Row* out) {
+  out->clear();
+  out->reserve(key.size() + suffix.size());
+  out->insert(out->end(), key.begin(), key.end());
+  out->insert(out->end(), suffix.begin(), suffix.end());
+}
+
 }  // namespace
 
 const char* PartitionModeName(PartitionMode mode) {
@@ -33,14 +50,16 @@ const char* PartitionModeName(PartitionMode mode) {
 }
 
 GApplyOp::GApplyOp(PhysOpPtr outer, std::vector<int> grouping_columns,
-                   std::string var_name, PhysOpPtr pgq, PartitionMode mode)
+                   std::string var_name, PhysOpPtr pgq, PartitionMode mode,
+                   size_t parallelism)
     : PhysOp(MakeGApplySchema(outer->output_schema(), grouping_columns,
                               pgq->output_schema())),
       outer_(std::move(outer)),
       grouping_columns_(std::move(grouping_columns)),
       var_name_(std::move(var_name)),
       pgq_(std::move(pgq)),
-      mode_(mode) {}
+      mode_(mode),
+      parallelism_(std::max<size_t>(1, parallelism)) {}
 
 Status GApplyOp::Partition(ExecContext* ctx) {
   group_keys_.clear();
@@ -68,17 +87,41 @@ Status GApplyOp::Partition(ExecContext* ctx) {
                        }
                        return false;
                      });
-    for (Row& r : input) {
-      Row key = ExtractKey(r, grouping_columns_);
-      if (group_keys_.empty() || !RowsEqual(group_keys_.back(), key)) {
-        group_keys_.push_back(std::move(key));
-        groups_.emplace_back();
+    // After sorting, equal keys are adjacent, so a group boundary is a row
+    // that differs from its predecessor on some grouping column — compared
+    // on the raw row, with no per-row key materialization. A first pass
+    // finds the run lengths so every vector can be reserved exactly; keys
+    // are extracted once per group, not once per row.
+    const auto same_group = [this](const Row& a, const Row& b) {
+      for (int c : grouping_columns_) {
+        if (!a[static_cast<size_t>(c)].Equals(b[static_cast<size_t>(c)])) {
+          return false;
+        }
       }
-      groups_.back().push_back(std::move(r));
+      return true;
+    };
+    std::vector<size_t> run_lengths;
+    for (size_t i = 0; i < input.size(); ++i) {
+      if (i == 0 || !same_group(input[i - 1], input[i])) {
+        run_lengths.push_back(0);
+      }
+      ++run_lengths.back();
+    }
+    group_keys_.reserve(run_lengths.size());
+    groups_.reserve(run_lengths.size());
+    size_t pos = 0;
+    for (size_t len : run_lengths) {
+      group_keys_.push_back(ExtractKey(input[pos], grouping_columns_));
+      groups_.emplace_back();
+      groups_.back().reserve(len);
+      for (size_t j = 0; j < len; ++j) {
+        groups_.back().push_back(std::move(input[pos++]));
+      }
     }
   } else {
     ctx->counters().rows_hash_partitioned += input.size();
     std::unordered_map<Row, size_t, RowHash, RowEq> index;
+    index.reserve(input.size());
     for (Row& r : input) {
       Row key = ExtractKey(r, grouping_columns_);
       auto [it, inserted] = index.try_emplace(key, groups_.size());
@@ -101,24 +144,150 @@ Status GApplyOp::OpenGroup(ExecContext* ctx) {
     return st;
   }
   group_open_ = true;
+  group_open_ns_ = NowNs();
   ctx->counters().pgq_executions++;
   return Status::OK();
 }
 
 Status GApplyOp::CloseGroup(ExecContext* ctx) {
+  ctx->counters().gapply_pgq_ns += NowNs() - group_open_ns_;
   RETURN_NOT_OK(pgq_->Close(ctx));
   RETURN_NOT_OK(ctx->UnbindGroup(var_name_));
   group_open_ = false;
   return Status::OK();
 }
 
+Status GApplyOp::ExecuteOneGroup(PhysOp* pgq, ExecContext* ctx, size_t g,
+                                 std::vector<Row>* out) {
+  ctx->BindGroup(var_name_, &outer_->output_schema(), &groups_[g]);
+  Status st = pgq->Open(ctx);
+  if (!st.ok()) {
+    (void)ctx->UnbindGroup(var_name_);
+    return st;
+  }
+  ctx->counters().pgq_executions++;
+  const Row& key = group_keys_[g];
+  Row pgq_row;
+  while (true) {
+    auto next = pgq->Next(ctx, &pgq_row);
+    if (!next.ok()) {
+      (void)pgq->Close(ctx);
+      (void)ctx->UnbindGroup(var_name_);
+      return next.status();
+    }
+    if (!*next) break;
+    Row full;
+    AppendPrefixed(key, pgq_row, &full);
+    out->push_back(std::move(full));
+  }
+  st = pgq->Close(ctx);
+  Status unbind = ctx->UnbindGroup(var_name_);
+  RETURN_NOT_OK(st);
+  return unbind;
+}
+
+Status GApplyOp::ExecuteGroupsParallel(ExecContext* ctx) {
+  const size_t dop = std::min(parallelism_, groups_.size());
+  group_outputs_.assign(groups_.size(), {});
+
+  struct WorkerState {
+    PhysOpPtr pgq;
+    ExecContext ctx;
+    Status error = Status::OK();
+    size_t error_group = 0;
+    bool failed = false;
+  };
+  std::vector<WorkerState> workers(dop);
+  for (WorkerState& w : workers) {
+    w.pgq = pgq_->Clone();
+    w.ctx = ctx->ForkForWorker();
+  }
+
+  // Morsel-driven scheduling: workers claim the next unprocessed group
+  // through a shared cursor. Each group's output goes to its own slot in
+  // group_outputs_, so no two workers ever write the same element and the
+  // final stream order is independent of scheduling.
+  std::atomic<size_t> next_group{0};
+  std::atomic<bool> abort{false};
+  {
+    ThreadPool pool(dop);
+    for (size_t w = 0; w < dop; ++w) {
+      pool.Submit([this, &workers, &next_group, &abort, w] {
+        WorkerState& ws = workers[w];
+        while (!abort.load(std::memory_order_relaxed)) {
+          const size_t g =
+              next_group.fetch_add(1, std::memory_order_relaxed);
+          if (g >= groups_.size()) break;
+          Status st = ExecuteOneGroup(ws.pgq.get(), &ws.ctx, g,
+                                      &group_outputs_[g]);
+          if (!st.ok()) {
+            ws.error = std::move(st);
+            ws.error_group = g;
+            ws.failed = true;
+            abort.store(true, std::memory_order_relaxed);
+            break;
+          }
+        }
+      });
+    }
+    pool.WaitIdle();
+  }
+
+  for (WorkerState& w : workers) {
+    ctx->counters().MergeFrom(w.ctx.counters());
+  }
+
+  // Deterministic error selection: among the workers that failed, surface
+  // the smallest group index — the error serial execution would hit first.
+  const WorkerState* first_failure = nullptr;
+  for (const WorkerState& w : workers) {
+    if (w.failed && (first_failure == nullptr ||
+                     w.error_group < first_failure->error_group)) {
+      first_failure = &w;
+    }
+  }
+  if (first_failure != nullptr) return first_failure->error;
+  return Status::OK();
+}
+
 Status GApplyOp::Open(ExecContext* ctx) {
   current_group_ = 0;
+  output_pos_ = 0;
   group_open_ = false;
-  return Partition(ctx);
+  parallel_exec_ = false;
+  group_outputs_.clear();
+
+  const uint64_t t0 = NowNs();
+  RETURN_NOT_OK(Partition(ctx));
+  ctx->counters().gapply_partition_ns += NowNs() - t0;
+
+  if (parallelism_ > 1 && groups_.size() > 1) {
+    parallel_exec_ = true;
+    const uint64_t t1 = NowNs();
+    Status st = ExecuteGroupsParallel(ctx);
+    ctx->counters().gapply_pgq_ns += NowNs() - t1;
+    RETURN_NOT_OK(st);
+  }
+  return Status::OK();
 }
 
 Result<bool> GApplyOp::Next(ExecContext* ctx, Row* out) {
+  if (parallel_exec_) {
+    while (current_group_ < group_outputs_.size()) {
+      std::vector<Row>& rows = group_outputs_[current_group_];
+      if (output_pos_ < rows.size()) {
+        *out = std::move(rows[output_pos_++]);
+        return true;
+      }
+      // Release each group's buffer as soon as it is drained.
+      rows.clear();
+      rows.shrink_to_fit();
+      ++current_group_;
+      output_pos_ = 0;
+    }
+    return false;
+  }
+
   while (current_group_ < groups_.size()) {
     if (!group_open_) RETURN_NOT_OK(OpenGroup(ctx));
     Row pgq_row;
@@ -128,11 +297,7 @@ Result<bool> GApplyOp::Next(ExecContext* ctx, Row* out) {
       return next.status();
     }
     if (*next) {
-      const Row& key = group_keys_[current_group_];
-      out->clear();
-      out->reserve(key.size() + pgq_row.size());
-      out->insert(out->end(), key.begin(), key.end());
-      out->insert(out->end(), pgq_row.begin(), pgq_row.end());
+      AppendPrefixed(group_keys_[current_group_], pgq_row, out);
       return true;
     }
     RETURN_NOT_OK(CloseGroup(ctx));
@@ -145,6 +310,7 @@ Status GApplyOp::Close(ExecContext* ctx) {
   if (group_open_) RETURN_NOT_OK(CloseGroup(ctx));
   group_keys_.clear();
   groups_.clear();
+  group_outputs_.clear();
   return Status::OK();
 }
 
@@ -156,8 +322,18 @@ std::string GApplyOp::DebugName() const {
                 .column(static_cast<size_t>(grouping_columns_[i]))
                 .name;
   }
-  return "GApply(gcols=[" + cols + "], var=$" + var_name_ + ", partition=" +
-         PartitionModeName(mode_) + ")";
+  std::string out = "GApply(gcols=[" + cols + "], var=$" + var_name_ +
+                    ", partition=" + PartitionModeName(mode_);
+  if (parallelism_ > 1) {
+    out += ", parallelism=" + std::to_string(parallelism_);
+  }
+  return out + ")";
+}
+
+PhysOpPtr GApplyOp::Clone() const {
+  return std::make_unique<GApplyOp>(outer_->Clone(), grouping_columns_,
+                                    var_name_, pgq_->Clone(), mode_,
+                                    parallelism_);
 }
 
 }  // namespace gapply

@@ -29,36 +29,69 @@ const char* PartitionModeName(PartitionMode mode);
 ///
 /// Output schema: grouping columns (as named in the outer schema) followed
 /// by the PGQ output schema.
+///
+/// Parallel execution (the paper's §3 observation that no group's evaluation
+/// depends on another's, made operational): with `parallelism` > 1, phase 2
+/// fans the groups out over a worker pool. Each worker owns a deep Clone of
+/// the PGQ subplan and a private ExecContext forked from the caller's (so
+/// enclosing Apply/GApply bindings remain visible but per-group bindings and
+/// counters stay private), and claims groups through a shared atomic cursor.
+/// Per-group outputs are buffered per group index and emitted in exactly the
+/// order the serial path would produce, so parallel output is bit-for-bit
+/// identical to serial output; worker counters are merged back into the
+/// caller's context, so global counters stay exact. If any group's PGQ
+/// fails, the error of the smallest failing group index is reported
+/// (again matching what serial execution would surface first).
 class GApplyOp : public PhysOp {
  public:
   GApplyOp(PhysOpPtr outer, std::vector<int> grouping_columns,
            std::string var_name, PhysOpPtr pgq,
-           PartitionMode mode = PartitionMode::kHash);
+           PartitionMode mode = PartitionMode::kHash, size_t parallelism = 1);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
     return {outer_.get(), pgq_.get()};
   }
+
+  size_t parallelism() const { return parallelism_; }
 
  private:
   Status Partition(ExecContext* ctx);
   Status OpenGroup(ExecContext* ctx);
   Status CloseGroup(ExecContext* ctx);
 
+  /// Runs `pgq` over group `g` with bindings in `ctx`, appending key-prefixed
+  /// output rows to `*out`. Thread-safe w.r.t. other groups: reads only the
+  /// materialized partitions, mutates only `ctx` and `*out`.
+  Status ExecuteOneGroup(PhysOp* pgq, ExecContext* ctx, size_t g,
+                         std::vector<Row>* out);
+
+  /// Phase-2 fan-out: executes every group on a worker pool, filling
+  /// group_outputs_, and merges worker counters into `ctx`.
+  Status ExecuteGroupsParallel(ExecContext* ctx);
+
   PhysOpPtr outer_;
   std::vector<int> grouping_columns_;
   std::string var_name_;
   PhysOpPtr pgq_;
   PartitionMode mode_;
+  size_t parallelism_;
 
   // Materialized partitions: parallel vectors of key and member rows.
   std::vector<Row> group_keys_;
   std::vector<std::vector<Row>> groups_;
   size_t current_group_ = 0;
   bool group_open_ = false;
+  uint64_t group_open_ns_ = 0;  // steady_clock stamp of the OpenGroup call
+
+  // Parallel-path state: per-group output buffers, streamed by Next.
+  bool parallel_exec_ = false;
+  std::vector<std::vector<Row>> group_outputs_;
+  size_t output_pos_ = 0;
 };
 
 }  // namespace gapply

@@ -162,11 +162,23 @@ Status NestedLoopJoinOp::Close(ExecContext* ctx) {
   return left_->Close(ctx);
 }
 
+PhysOpPtr HashJoinOp::Clone() const {
+  return std::make_unique<HashJoinOp>(
+      left_->Clone(), right_->Clone(), left_keys_, right_keys_,
+      residual_ == nullptr ? nullptr : residual_->Clone());
+}
+
 std::string NestedLoopJoinOp::DebugName() const {
   return "NestedLoopJoin(" +
          (predicate_ == nullptr ? std::string("true")
                                 : predicate_->ToString()) +
          ")";
+}
+
+PhysOpPtr NestedLoopJoinOp::Clone() const {
+  return std::make_unique<NestedLoopJoinOp>(
+      left_->Clone(), right_->Clone(),
+      predicate_ == nullptr ? nullptr : predicate_->Clone());
 }
 
 }  // namespace gapply

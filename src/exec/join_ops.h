@@ -26,6 +26,7 @@ class HashJoinOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
     return {left_.get(), right_.get()};
   }
@@ -55,6 +56,7 @@ class NestedLoopJoinOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
     return {left_.get(), right_.get()};
   }

@@ -1,5 +1,6 @@
 #include "src/exec/lowering.h"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
 
@@ -14,13 +15,6 @@
 namespace gapply {
 
 namespace {
-
-std::vector<AggregateDesc> CloneAggs(const std::vector<AggregateDesc>& aggs) {
-  std::vector<AggregateDesc> out;
-  out.reserve(aggs.size());
-  for (const AggregateDesc& a : aggs) out.push_back(a.Clone());
-  return out;
-}
 
 Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
   switch (node.type()) {
@@ -74,16 +68,16 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
         auto sorted =
             std::make_unique<SortOp>(std::move(child), std::move(keys));
         return PhysOpPtr(std::make_unique<StreamGroupByOp>(
-            std::move(sorted), gb.keys(), CloneAggs(gb.aggs())));
+            std::move(sorted), gb.keys(), CloneAggregates(gb.aggs())));
       }
       return PhysOpPtr(std::make_unique<HashGroupByOp>(
-          std::move(child), gb.keys(), CloneAggs(gb.aggs())));
+          std::move(child), gb.keys(), CloneAggregates(gb.aggs())));
     }
     case LogicalOpType::kScalarAgg: {
       const auto& agg = static_cast<const LogicalScalarAgg&>(node);
       ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*agg.child(0), opts));
       return PhysOpPtr(std::make_unique<ScalarAggOp>(std::move(child),
-                                                     CloneAggs(agg.aggs())));
+                                                     CloneAggregates(agg.aggs())));
     }
     case LogicalOpType::kDistinct: {
       ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*node.child(0), opts));
@@ -124,9 +118,10 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
       ASSIGN_OR_RETURN(PhysOpPtr pgq, Lower(*ga.pgq(), opts));
       const PartitionMode mode =
           opts.force_partition_mode.value_or(ga.mode());
+      const size_t dop = std::max<size_t>(1, opts.gapply_parallelism);
       return PhysOpPtr(std::make_unique<GApplyOp>(
           std::move(outer), ga.grouping_columns(), ga.var(), std::move(pgq),
-          mode));
+          mode, dop));
     }
   }
   return Status::Internal("unknown logical operator in lowering");

@@ -16,6 +16,11 @@ struct LoweringOptions {
 
   /// Lower GroupBy as Sort + StreamGroupBy instead of HashGroupBy.
   bool stream_group_by = false;
+
+  /// Degree of parallelism for every GApply's per-group execution phase.
+  /// 0 means "engine default" (Database substitutes its session setting,
+  /// `SET parallelism = N`); 1 is serial; N > 1 runs groups on N workers.
+  size_t gapply_parallelism = 0;
 };
 
 /// Translates a logical plan into an executable physical plan. The logical

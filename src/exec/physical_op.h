@@ -32,6 +32,14 @@ class PhysOp {
   virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
   virtual Status Close(ExecContext* ctx) = 0;
 
+  /// Deep copy of the operator tree in its *pre-Open* configuration:
+  /// children and expressions are cloned, runtime state (cursors, hash
+  /// tables, materialized rows other than Values literals) is not. The
+  /// clone shares only immutable inputs (base tables) with the original,
+  /// so original and clone can be executed concurrently from different
+  /// ExecContexts — the foundation of the parallel GApply path.
+  virtual std::unique_ptr<PhysOp> Clone() const = 0;
+
   const Schema& output_schema() const { return schema_; }
 
   /// Operator name plus salient arguments, e.g. "HashJoin(l=[0], r=[1])".

@@ -29,6 +29,10 @@ std::string TableScanOp::DebugName() const {
   return out;
 }
 
+PhysOpPtr TableScanOp::Clone() const {
+  return std::make_unique<TableScanOp>(table_, alias_);
+}
+
 GroupScanOp::GroupScanOp(std::string var_name, Schema schema)
     : PhysOp(std::move(schema)), var_name_(std::move(var_name)) {}
 
@@ -63,6 +67,10 @@ std::string GroupScanOp::DebugName() const {
   return "GroupScan($" + var_name_ + ")";
 }
 
+PhysOpPtr GroupScanOp::Clone() const {
+  return std::make_unique<GroupScanOp>(var_name_, schema_);
+}
+
 ValuesOp::ValuesOp(Schema schema, std::vector<Row> rows)
     : PhysOp(std::move(schema)), rows_(std::move(rows)) {}
 
@@ -81,6 +89,10 @@ Status ValuesOp::Close(ExecContext*) { return Status::OK(); }
 
 std::string ValuesOp::DebugName() const {
   return "Values(" + std::to_string(rows_.size()) + " rows)";
+}
+
+PhysOpPtr ValuesOp::Clone() const {
+  return std::make_unique<ValuesOp>(schema_, rows_);
 }
 
 }  // namespace gapply

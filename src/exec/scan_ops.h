@@ -18,6 +18,7 @@ class TableScanOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
 
  private:
   const Table* table_;
@@ -38,6 +39,7 @@ class GroupScanOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
 
   const std::string& var_name() const { return var_name_; }
 
@@ -56,6 +58,7 @@ class ValuesOp : public PhysOp {
   Result<bool> Next(ExecContext* ctx, Row* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
+  PhysOpPtr Clone() const override;
 
  private:
   std::vector<Row> rows_;

@@ -150,6 +150,14 @@ AggregateDesc AggregateDesc::Clone() const {
   return out;
 }
 
+std::vector<AggregateDesc> CloneAggregates(
+    const std::vector<AggregateDesc>& aggs) {
+  std::vector<AggregateDesc> out;
+  out.reserve(aggs.size());
+  for (const AggregateDesc& a : aggs) out.push_back(a.Clone());
+  return out;
+}
+
 TypeId AggregateDesc::OutputType() const {
   switch (kind) {
     case AggKind::kCountStar:

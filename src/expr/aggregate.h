@@ -41,6 +41,11 @@ struct AggregateDesc {
   std::string ToString() const;
 };
 
+/// Element-wise AggregateDesc::Clone over a descriptor list (operator and
+/// lowering code copy aggregate lists when duplicating plans).
+std::vector<AggregateDesc> CloneAggregates(
+    const std::vector<AggregateDesc>& aggs);
+
 /// \brief Streaming accumulator for one aggregate over one group.
 ///
 /// SQL semantics: NULL inputs are ignored (except count(*)); on empty input

@@ -419,4 +419,50 @@ Result<QueryPtr> Parse(const std::string& sql) {
   return parser.ParseStatement();
 }
 
+Result<std::optional<SetStatement>> TryParseSet(const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  // Grammar: SET <identifier> = <integer> [';'] — anything not starting
+  // with the SET keyword is left for Parse.
+  if (tokens.empty() || tokens[0].type != TokenType::kIdentifier ||
+      tokens[0].text != "set") {
+    return std::optional<SetStatement>();
+  }
+  size_t i = 1;
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        "parse error in SET statement at position " +
+        std::to_string(i < tokens.size() ? tokens[i].position : sql.size()) +
+        ": " + msg);
+  };
+  if (i >= tokens.size() || tokens[i].type != TokenType::kIdentifier) {
+    return error("expected option name");
+  }
+  SetStatement stmt;
+  stmt.name = tokens[i++].text;
+  if (i >= tokens.size() || tokens[i].type != TokenType::kSymbol ||
+      tokens[i].text != "=") {
+    return error("expected '='");
+  }
+  ++i;
+  bool negative = false;
+  if (i < tokens.size() && tokens[i].type == TokenType::kSymbol &&
+      tokens[i].text == "-") {
+    negative = true;
+    ++i;
+  }
+  if (i >= tokens.size() || tokens[i].type != TokenType::kInteger) {
+    return error("expected integer value");
+  }
+  stmt.value = std::stoll(tokens[i++].text);
+  if (negative) stmt.value = -stmt.value;
+  if (i < tokens.size() && tokens[i].type == TokenType::kSymbol &&
+      tokens[i].text == ";") {
+    ++i;
+  }
+  if (i < tokens.size() && tokens[i].type != TokenType::kEnd) {
+    return error("unexpected trailing input");
+  }
+  return std::optional<SetStatement>(std::move(stmt));
+}
+
 }  // namespace gapply::sql

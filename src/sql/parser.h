@@ -1,6 +1,8 @@
 #ifndef GAPPLY_SQL_PARSER_H_
 #define GAPPLY_SQL_PARSER_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/common/result.h"
@@ -27,6 +29,19 @@ namespace gapply::sql {
 /// optional DISTINCT and COUNT(*)), scalar subqueries `(SELECT ...)`, and
 /// [NOT] EXISTS (SELECT ...).
 Result<QueryPtr> Parse(const std::string& sql);
+
+/// A session option assignment: `SET <name> = <integer>` (e.g.
+/// `SET parallelism = 4`). Option names are lowercased; which names are
+/// valid is decided by the engine, not the parser.
+struct SetStatement {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// If `sql` is a SET statement, parses and returns it; returns nullopt when
+/// the input does not start with the SET keyword (callers then hand the
+/// string to Parse). A malformed SET statement is an InvalidArgument error.
+Result<std::optional<SetStatement>> TryParseSet(const std::string& sql);
 
 }  // namespace gapply::sql
 

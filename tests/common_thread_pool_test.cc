@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/thread_pool.h"
+
+namespace gapply {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 200; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, ReusableAfterWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(counter.load(), 50 * (round + 1));
+  }
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    // No WaitIdle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsTasksInSubmissionOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&order, i] { order.push_back(i); });
+  }
+  pool.WaitIdle();
+  ASSERT_EQ(order.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmitters) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&pool, &counter] {
+      for (int i = 0; i < 50; ++i) {
+        pool.Submit([&counter] { counter.fetch_add(1); });
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(3);
+  pool.WaitIdle();  // nothing submitted — must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, DefaultParallelismIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, NestedPoolsDoNotDeadlock) {
+  // Mirrors nested parallel GApply: a pool task spins up its own pool.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter] {
+      ThreadPool inner(2);
+      for (int j = 0; j < 8; ++j) {
+        inner.Submit([&counter] { counter.fetch_add(1); });
+      }
+      inner.WaitIdle();
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 64);
+}
+
+}  // namespace
+}  // namespace gapply

@@ -119,5 +119,60 @@ TEST_F(EngineTest, RepeatedQueriesAreIndependent) {
   }
 }
 
+TEST_F(EngineTest, SetParallelismPersistsForTheSession) {
+  EXPECT_EQ(db_.default_gapply_parallelism(), 1u);
+  Result<QueryResult> set_r = db_.Query("set parallelism = 4");
+  ASSERT_TRUE(set_r.ok()) << set_r.status().ToString();
+  EXPECT_TRUE(set_r->rows.empty());  // SET produces no rows
+  EXPECT_EQ(db_.default_gapply_parallelism(), 4u);
+
+  // The session default reaches GApply: identical results to a query that
+  // explicitly forces serial execution, and the plan advertises the DOP.
+  const std::string sql =
+      "select gapply(select p_name from g) "
+      "from partsupp, part where ps_partkey = p_partkey "
+      "group by ps_suppkey : g";
+  QueryStats par_stats;
+  Result<QueryResult> par = db_.Query(sql, QueryOptions{}, &par_stats);
+  ASSERT_TRUE(par.ok()) << par.status().ToString();
+
+  QueryOptions serial;
+  serial.lowering.gapply_parallelism = 1;  // overrides the session default
+  QueryStats serial_stats;
+  Result<QueryResult> ser = db_.Query(sql, serial, &serial_stats);
+  ASSERT_TRUE(ser.ok());
+  ASSERT_EQ(par->rows.size(), ser->rows.size());
+  for (size_t i = 0; i < par->rows.size(); ++i) {
+    EXPECT_TRUE(RowsEqual(par->rows[i], ser->rows[i])) << "row " << i;
+  }
+  EXPECT_EQ(par_stats.counters.pgq_executions,
+            serial_stats.counters.pgq_executions);
+
+  Result<std::string> explain = db_.Explain(sql);
+  ASSERT_TRUE(explain.ok());
+  EXPECT_NE(explain->find("parallelism=4"), std::string::npos) << *explain;
+}
+
+TEST_F(EngineTest, SetParallelismZeroMeansAllHardwareThreads) {
+  ASSERT_TRUE(db_.Query("set parallelism = 0").ok());
+  EXPECT_GE(db_.default_gapply_parallelism(), 1u);
+}
+
+TEST_F(EngineTest, SetStatementErrors) {
+  // Unknown option.
+  Result<QueryResult> unknown = db_.Query("set no_such_option = 1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+  // Negative DOP.
+  Result<QueryResult> negative = db_.Query("set parallelism = -2");
+  ASSERT_FALSE(negative.ok());
+  EXPECT_EQ(negative.status().code(), StatusCode::kInvalidArgument);
+  // Malformed: missing '='.
+  Result<QueryResult> malformed = db_.Query("set parallelism 4");
+  ASSERT_FALSE(malformed.ok());
+  // Failed SETs leave the session default untouched.
+  EXPECT_EQ(db_.default_gapply_parallelism(), 1u);
+}
+
 }  // namespace
 }  // namespace gapply
