@@ -1,0 +1,299 @@
+// Vectorized-execution sweep: batch size {1, 64, 256, 1024, 4096} against
+// the row-at-a-time Volcano baseline, over three pipeline shapes:
+//
+//   1. scan → filter → project  (the pure interpretation-overhead case the
+//      NextBatch layer targets: batch predicate/projection evaluation
+//      amortizes per-row virtual dispatch and expression recursion)
+//   2. hash join                (batch build + batch probe)
+//   3. GApply over TPC-H partsupp (sf 0.01), both partition modes,
+//      1 and 4 worker threads
+//
+// Every batch run is validated against the row-path output — multiset
+// equality in general, element-for-element for parallel GApply (whose
+// output order is promised bit-for-bit serial-identical). Results go to
+// stdout and BENCH_vectorized.json.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/common/row_batch.h"
+#include "src/common/thread_pool.h"
+#include "src/exec/agg_ops.h"
+#include "src/exec/filter_project_ops.h"
+#include "src/exec/gapply_op.h"
+#include "src/exec/join_ops.h"
+#include "src/exec/scan_ops.h"
+#include "src/expr/aggregate.h"
+#include "src/expr/expr.h"
+
+namespace gapply::bench {
+namespace {
+
+constexpr size_t kBatchSizes[] = {1, 64, 256, 1024, 4096};
+
+struct RunResult {
+  double ms = 0;
+  std::vector<Row> rows;
+  ExecContext::Counters counters;
+};
+
+struct JsonRecord {
+  std::string workload;
+  size_t batch_size = 0;  // 0 = row-at-a-time baseline
+  size_t rows = 0;
+  double ms = 0;
+  double speedup_vs_rows = 0;
+  uint64_t batches = 0;
+  double avg_fill = 0;
+  bool valid = false;
+};
+
+std::vector<JsonRecord> g_records;
+bool g_criterion_met = true;
+
+bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+// Times `make()` through either executor; best of `reps` + one warmup.
+template <typename MakeFn>
+RunResult TimeRuns(const MakeFn& make, int reps, size_t batch_size) {
+  RunResult result;
+  double best = 1e300;
+  for (int i = 0; i <= reps; ++i) {
+    PhysOpPtr op = make();
+    ExecContext ctx;
+    if (batch_size != 0) ctx.set_batch_size(batch_size);
+    const auto start = std::chrono::steady_clock::now();
+    Result<QueryResult> r = batch_size == 0
+                                ? ExecuteToVectorRows(op.get(), &ctx)
+                                : ExecuteToVector(op.get(), &ctx);
+    const auto end = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      std::fprintf(stderr, "bench plan failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (i > 0 && ms < best) best = ms;  // skip warmup
+    result.rows = std::move(r->rows);
+    result.counters = ctx.counters();
+  }
+  result.ms = best;
+  return result;
+}
+
+template <typename MakeFn>
+void RunSweep(const std::string& workload, const MakeFn& make, int reps,
+              bool bit_for_bit, double required_speedup_at_1024 = 0) {
+  const RunResult baseline = TimeRuns(make, reps, /*batch_size=*/0);
+  {
+    JsonRecord rec;
+    rec.workload = workload;
+    rec.batch_size = 0;
+    rec.rows = baseline.rows.size();
+    rec.ms = baseline.ms;
+    rec.speedup_vs_rows = 1.0;
+    rec.valid = true;
+    g_records.push_back(rec);
+  }
+  std::printf("%s (%zu rows):\n", workload.c_str(), baseline.rows.size());
+  std::printf("  rows        %9.3f ms  (baseline)\n", baseline.ms);
+
+  for (size_t bs : kBatchSizes) {
+    const RunResult run = TimeRuns(make, reps, bs);
+    const bool valid = bit_for_bit
+                           ? SameRowSequence(run.rows, baseline.rows)
+                           : SameRowMultiset(run.rows, baseline.rows);
+    if (!valid) {
+      std::fprintf(stderr,
+                   "BENCH INVALID: %s batch_size=%zu diverges from the "
+                   "row path (%zu vs %zu rows)\n",
+                   workload.c_str(), bs, run.rows.size(),
+                   baseline.rows.size());
+      std::exit(1);
+    }
+    JsonRecord rec;
+    rec.workload = workload;
+    rec.batch_size = bs;
+    rec.rows = run.rows.size();
+    rec.ms = run.ms;
+    rec.speedup_vs_rows = baseline.ms / run.ms;
+    rec.batches = run.counters.batches_produced;
+    rec.avg_fill = run.counters.batches_produced == 0
+                       ? 0
+                       : static_cast<double>(run.counters.batch_rows_produced) /
+                             static_cast<double>(run.counters.batches_produced);
+    rec.valid = valid;
+    std::printf("  batch %-5zu %9.3f ms  speedup %5.2fx  "
+                "[%llu batches, avg fill %.1f]\n",
+                bs, run.ms, rec.speedup_vs_rows,
+                static_cast<unsigned long long>(rec.batches), rec.avg_fill);
+    if (bs == 1024 && required_speedup_at_1024 > 0 &&
+        rec.speedup_vs_rows < required_speedup_at_1024) {
+      std::fprintf(stderr,
+                   "CRITERION MISSED: %s at batch 1024 is %.2fx, "
+                   "required >= %.2fx\n",
+                   workload.c_str(), rec.speedup_vs_rows,
+                   required_speedup_at_1024);
+      g_criterion_met = false;
+    }
+    g_records.push_back(std::move(rec));
+  }
+  std::printf("\n");
+}
+
+// --------------------------------------------------------------------------
+// Workload 1: scan → filter → project over a synthetic 200k-row table.
+// --------------------------------------------------------------------------
+
+std::unique_ptr<Table> MakeWideTable(size_t rows) {
+  Schema schema({{"k", TypeId::kInt64, "t"},
+                 {"v", TypeId::kInt64, "t"},
+                 {"d", TypeId::kDouble, "t"}});
+  auto table = std::make_unique<Table>("t", schema);
+  Rng rng(123);
+  for (size_t i = 0; i < rows; ++i) {
+    Status st = table->Append({Value::Int(static_cast<int64_t>(i % 1000)),
+                               Value::Int(rng.UniformInt(0, 1000)),
+                               Value::Double(rng.UniformDouble(0, 100))});
+    if (!st.ok()) std::exit(1);
+  }
+  return table;
+}
+
+PhysOpPtr MakeScanFilterProject(const Table* table) {
+  auto scan = std::make_unique<TableScanOp>(table);
+  const Schema s = scan->output_schema();
+  auto filter = std::make_unique<FilterOp>(
+      std::move(scan), Gt(Col(s, "v"), Lit(int64_t{250})));
+  std::vector<ExprPtr> exprs;
+  exprs.push_back(Col(s, "k"));
+  exprs.push_back(Binary(BinaryOp::kAdd, Col(s, "v"), Lit(int64_t{7})));
+  exprs.push_back(Binary(BinaryOp::kMultiply, Col(s, "d"), Lit(2.0)));
+  Result<PhysOpPtr> p = ProjectOp::Make(std::move(filter), std::move(exprs),
+                                        {"k", "v7", "d2"});
+  if (!p.ok()) std::exit(1);
+  return std::move(*p);
+}
+
+// --------------------------------------------------------------------------
+// Workload 2: hash join, 100k-row probe side against a 1000-row build side.
+// --------------------------------------------------------------------------
+
+PhysOpPtr MakeHashJoin(const Table* fact, const Table* dim) {
+  auto probe = std::make_unique<TableScanOp>(fact);
+  auto build = std::make_unique<TableScanOp>(dim);
+  return std::make_unique<HashJoinOp>(std::move(probe), std::move(build),
+                                      std::vector<int>{0},
+                                      std::vector<int>{0});
+}
+
+// --------------------------------------------------------------------------
+// Workload 3: GApply over TPC-H partsupp grouped by ps_partkey, PGQ =
+// count/sum/avg over the group, both partition modes x threads {1, 4}.
+// --------------------------------------------------------------------------
+
+PhysOpPtr MakeGApply(const Table* partsupp, PartitionMode mode, size_t dop) {
+  auto outer = std::make_unique<TableScanOp>(partsupp);
+  const Schema gs = outer->output_schema();
+  auto scan = std::make_unique<GroupScanOp>("g", gs);
+  std::vector<AggregateDesc> aggs;
+  aggs.push_back(CountStar("cnt"));
+  aggs.push_back(Sum(Col(gs, "ps_availqty"), "sum_qty"));
+  aggs.push_back(Avg(Col(gs, "ps_supplycost"), "avg_cost"));
+  auto pgq = std::make_unique<ScalarAggOp>(std::move(scan), std::move(aggs));
+  return std::make_unique<GApplyOp>(std::move(outer), std::vector<int>{0},
+                                    "g", std::move(pgq), mode, dop);
+}
+
+void WriteJson(double sf, int reps) {
+  FILE* f = std::fopen("BENCH_vectorized.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_vectorized.json\n");
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"vectorized\",\n"
+               "  \"scale_factor\": %g,\n"
+               "  \"reps\": %d,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"criterion_scan_filter_project_1024_ge_1.5x\": %s,\n"
+               "  \"results\": [\n",
+               sf, reps, ThreadPool::DefaultParallelism(),
+               g_criterion_met ? "true" : "false");
+  for (size_t i = 0; i < g_records.size(); ++i) {
+    const JsonRecord& r = g_records[i];
+    std::fprintf(
+        f,
+        "    {\"workload\": \"%s\", \"batch_size\": %zu, \"rows\": %zu, "
+        "\"ms\": %.4f, \"speedup_vs_rows\": %.4f, \"batches\": %llu, "
+        "\"avg_fill\": %.2f, \"valid\": %s}%s\n",
+        r.workload.c_str(), r.batch_size, r.rows, r.ms, r.speedup_vs_rows,
+        static_cast<unsigned long long>(r.batches), r.avg_fill,
+        r.valid ? "true" : "false", i + 1 == g_records.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote BENCH_vectorized.json (%zu records)\n",
+              g_records.size());
+}
+
+void Run() {
+  const double sf = ScaleFactor(0.01);
+  const int reps = Reps();
+  std::printf("Vectorized execution sweep (sf=%.4g, reps=%d)\n\n", sf, reps);
+
+  auto wide = MakeWideTable(200000);
+  RunSweep("scan_filter_project",
+           [&] { return MakeScanFilterProject(wide.get()); }, reps,
+           /*bit_for_bit=*/false, /*required_speedup_at_1024=*/1.5);
+
+  auto fact = MakeWideTable(100000);
+  Schema dim_schema({{"k", TypeId::kInt64, "dim"},
+                     {"payload", TypeId::kInt64, "dim"}});
+  auto dim = std::make_unique<Table>("dim", dim_schema);
+  for (int64_t k = 0; k < 1000; ++k) {
+    Status st = dim->Append({Value::Int(k), Value::Int(k * 10)});
+    if (!st.ok()) std::exit(1);
+  }
+  RunSweep("hash_join", [&] { return MakeHashJoin(fact.get(), dim.get()); },
+           reps, /*bit_for_bit=*/false);
+
+  Database db;
+  LoadDb(&db, sf);
+  Result<Table*> partsupp = db.catalog()->GetTable("partsupp");
+  if (!partsupp.ok()) {
+    std::fprintf(stderr, "no partsupp table\n");
+    std::exit(1);
+  }
+  for (PartitionMode mode : {PartitionMode::kSort, PartitionMode::kHash}) {
+    for (size_t dop : {size_t{1}, size_t{4}}) {
+      char name[64];
+      std::snprintf(name, sizeof(name), "gapply_%s_t%zu",
+                    PartitionModeName(mode), dop);
+      RunSweep(name, [&] { return MakeGApply(*partsupp, mode, dop); }, reps,
+               /*bit_for_bit=*/dop > 1);
+    }
+  }
+
+  WriteJson(sf, reps);
+  if (!g_criterion_met) std::exit(1);
+}
+
+}  // namespace
+}  // namespace gapply::bench
+
+int main() {
+  gapply::bench::Run();
+  return 0;
+}

@@ -144,7 +144,15 @@ std::string Value::ToString() const {
 size_t RowHash::operator()(const Row& row) const {
   size_t h = 0x345678u;
   for (const Value& v : row) {
-    h = h * 1000003u ^ v.Hash();
+    h = HashCombine(h, v.Hash());
+  }
+  return h;
+}
+
+size_t HashRowColumns(const Row& row, const std::vector<int>& cols) {
+  size_t h = 0x345678u;
+  for (int c : cols) {
+    h = HashCombine(h, row[static_cast<size_t>(c)].Hash());
   }
   return h;
 }

@@ -86,6 +86,20 @@ class Value {
 /// types; rows are positional.
 using Row = std::vector<Value>;
 
+/// Boost-style hash combine: golden-ratio constant plus shift mixing, so
+/// that adjacent integer hashes spread over the full word instead of
+/// landing in nearby buckets (the old `h * 1000003 ^ v` mix clustered
+/// consecutive keys).
+inline size_t HashCombine(size_t seed, size_t value) {
+  return seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6) + (seed >> 2));
+}
+
+/// Hash of the columns of `row` selected by `cols`, identical to what
+/// `RowHash` would produce for the extracted key row. Lets GApply's hash
+/// partitioner hash grouping columns in place, without materializing a key
+/// row per input row.
+size_t HashRowColumns(const Row& row, const std::vector<int>& cols);
+
 /// Grouping-semantics hash/equality functors for containers keyed by rows.
 struct RowHash {
   size_t operator()(const Row& row) const;

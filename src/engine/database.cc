@@ -31,6 +31,15 @@ Status Database::ApplySetStatement(const sql::SetStatement& stmt) {
     set_default_gapply_parallelism(static_cast<size_t>(stmt.value));
     return Status::OK();
   }
+  if (stmt.name == "batch_size") {
+    if (stmt.value < 0) {
+      return Status::InvalidArgument(
+          "SET batch_size: value must be >= 0, got " +
+          std::to_string(stmt.value));
+    }
+    set_default_batch_size(static_cast<size_t>(stmt.value));
+    return Status::OK();
+  }
   return Status::InvalidArgument("unknown session option: " + stmt.name);
 }
 
@@ -64,6 +73,8 @@ Result<QueryResult> Database::Execute(const LogicalOp& plan,
   }
   ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, lowering));
   ExecContext ctx;
+  ctx.set_batch_size(options.batch_size == 0 ? default_batch_size_
+                                             : options.batch_size);
   ASSIGN_OR_RETURN(QueryResult result, ExecuteToVector(phys.get(), &ctx));
   if (stats_out != nullptr) stats_out->counters = ctx.counters();
   return result;

@@ -21,6 +21,10 @@ struct QueryOptions {
   bool optimize = true;
   Optimizer::Options optimizer;
   LoweringOptions lowering;
+  /// Rows per RowBatch in the vectorized execution pipeline. 0 = the
+  /// session default (`SET batch_size = N`, initially
+  /// RowBatch::kDefaultCapacity).
+  size_t batch_size = 0;
 };
 
 /// Execution counters + fired-rule log for one query.
@@ -41,8 +45,10 @@ struct QueryStats {
 ///
 /// Session options: `Query` also accepts `SET parallelism = N` (N workers
 /// for every GApply's per-group phase; 1 = serial, 0 = all hardware
-/// threads), which persists for the session and applies to every subsequent
-/// query whose QueryOptions do not override it.
+/// threads) and `SET batch_size = N` (rows per RowBatch in the vectorized
+/// pipeline; 1 degenerates to row-at-a-time). Both persist for the session
+/// and apply to every subsequent query whose QueryOptions do not override
+/// them.
 class Database {
  public:
   Database() = default;
@@ -83,6 +89,13 @@ class Database {
   }
   void set_default_gapply_parallelism(size_t dop);
 
+  /// Session default for the vectorized pipeline's batch size, applied to
+  /// every query whose QueryOptions leave `batch_size` at 0.
+  size_t default_batch_size() const { return default_batch_size_; }
+  void set_default_batch_size(size_t n) {
+    default_batch_size_ = n == 0 ? RowBatch::kDefaultCapacity : n;
+  }
+
  private:
   /// Applies a parsed `SET name = value` statement to the session.
   Status ApplySetStatement(const sql::SetStatement& stmt);
@@ -90,6 +103,7 @@ class Database {
   Catalog catalog_;
   StatsManager stats_;
   size_t default_gapply_parallelism_ = 1;
+  size_t default_batch_size_ = RowBatch::kDefaultCapacity;
 };
 
 }  // namespace gapply

@@ -1,5 +1,7 @@
 #include "src/exec/agg_ops.h"
 
+#include <algorithm>
+
 namespace gapply {
 
 namespace {
@@ -75,18 +77,20 @@ Status HashGroupByOp::Open(ExecContext* ctx) {
   std::vector<Row> keys;
   std::vector<std::vector<std::unique_ptr<AggAccumulator>>> groups;
 
-  Row row;
+  RowBatch batch(ctx->batch_size());
   while (true) {
-    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &batch));
     if (!has) break;
-    Row key = ExtractKey(row, key_columns_);
-    auto [it, inserted] = index.try_emplace(key, groups.size());
-    if (inserted) {
-      keys.push_back(std::move(key));
-      groups.push_back(MakeAccumulators(aggs_));
+    for (const Row& row : batch.rows()) {
+      Row key = ExtractKey(row, key_columns_);
+      auto [it, inserted] = index.try_emplace(key, groups.size());
+      if (inserted) {
+        keys.push_back(std::move(key));
+        groups.push_back(MakeAccumulators(aggs_));
+      }
+      RETURN_NOT_OK(
+          AddRowToAccumulators(aggs_, groups[it->second], row, *ctx->eval()));
     }
-    RETURN_NOT_OK(
-        AddRowToAccumulators(aggs_, groups[it->second], row, *ctx->eval()));
   }
   RETURN_NOT_OK(child_->Close(ctx));
 
@@ -102,6 +106,18 @@ Status HashGroupByOp::Open(ExecContext* ctx) {
 Result<bool> HashGroupByOp::Next(ExecContext*, Row* out) {
   if (pos_ >= output_.size()) return false;
   *out = output_[pos_++];
+  return true;
+}
+
+Result<bool> HashGroupByOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  if (pos_ >= output_.size()) return false;
+  const size_t n = std::min(out->capacity(), output_.size() - pos_);
+  for (size_t i = 0; i < n; ++i) {
+    out->Add(std::move(output_[pos_ + i]));
+  }
+  pos_ += n;
+  RecordBatch(ctx, n);
   return true;
 }
 
@@ -133,6 +149,8 @@ Status StreamGroupByOp::Open(ExecContext* ctx) {
   in_group_ = false;
   child_done_ = false;
   have_pending_ = false;
+  child_batch_.Clear();
+  child_pos_ = 0;
   return child_->Open(ctx);
 }
 
@@ -152,6 +170,15 @@ Row StreamGroupByOp::FinishGroup() {
   for (const auto& acc : accs_) out.push_back(acc->Finish());
   in_group_ = false;
   return out;
+}
+
+bool StreamGroupByOp::SameKeyAsCurrent(const Row& row) const {
+  for (size_t i = 0; i < key_columns_.size(); ++i) {
+    if (!row[static_cast<size_t>(key_columns_[i])].Equals(current_key_[i])) {
+      return false;
+    }
+  }
+  return true;
 }
 
 Result<bool> StreamGroupByOp::Next(ExecContext* ctx, Row* out) {
@@ -180,7 +207,7 @@ Result<bool> StreamGroupByOp::Next(ExecContext* ctx, Row* out) {
       RETURN_NOT_OK(Accumulate(ctx, row));
       continue;
     }
-    if (RowsEqual(ExtractKey(row, key_columns_), current_key_)) {
+    if (SameKeyAsCurrent(row)) {
       RETURN_NOT_OK(Accumulate(ctx, row));
       continue;
     }
@@ -190,6 +217,45 @@ Result<bool> StreamGroupByOp::Next(ExecContext* ctx, Row* out) {
     *out = FinishGroup();
     return true;
   }
+}
+
+Result<bool> StreamGroupByOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  while (!out->full()) {
+    if (child_pos_ >= child_batch_.size()) {
+      // Current buffered batch drained — refill (re-allocating the buffer
+      // only when empty, so no buffered rows are lost on a capacity change).
+      if (child_done_) break;
+      if (child_batch_.capacity() != out->capacity()) {
+        child_batch_ = RowBatch(out->capacity());
+      }
+      ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
+      child_pos_ = 0;
+      if (!has) {
+        child_done_ = true;
+        break;
+      }
+    }
+    const Row& row = child_batch_[child_pos_++];
+    if (!in_group_) {
+      RETURN_NOT_OK(StartGroup(row));
+      RETURN_NOT_OK(Accumulate(ctx, row));
+    } else if (SameKeyAsCurrent(row)) {
+      RETURN_NOT_OK(Accumulate(ctx, row));
+    } else {
+      // Group boundary: emit the finished group, then start the new one.
+      out->Add(FinishGroup());
+      RETURN_NOT_OK(StartGroup(row));
+      RETURN_NOT_OK(Accumulate(ctx, row));
+    }
+  }
+  if (in_group_ && !out->full() && child_done_ &&
+      child_pos_ >= child_batch_.size()) {
+    out->Add(FinishGroup());
+  }
+  if (out->empty()) return false;
+  RecordBatch(ctx, out->size());
+  return true;
 }
 
 Status StreamGroupByOp::Close(ExecContext* ctx) {
@@ -220,11 +286,13 @@ Status ScalarAggOp::Open(ExecContext* ctx) {
 Result<bool> ScalarAggOp::Next(ExecContext* ctx, Row* out) {
   if (emitted_) return false;
   auto accs = MakeAccumulators(aggs_);
-  Row row;
+  RowBatch batch(ctx->batch_size());
   while (true) {
-    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &batch));
     if (!has) break;
-    RETURN_NOT_OK(AddRowToAccumulators(aggs_, accs, row, *ctx->eval()));
+    for (const Row& row : batch.rows()) {
+      RETURN_NOT_OK(AddRowToAccumulators(aggs_, accs, row, *ctx->eval()));
+    }
   }
   out->clear();
   for (const auto& acc : accs) out->push_back(acc->Finish());
@@ -248,6 +316,7 @@ DistinctOp::DistinctOp(PhysOpPtr child)
 
 Status DistinctOp::Open(ExecContext* ctx) {
   seen_.clear();
+  child_batch_.Clear();
   return child_->Open(ctx);
 }
 
@@ -257,6 +326,24 @@ Result<bool> DistinctOp::Next(ExecContext* ctx, Row* out) {
     if (!has) return false;
     if (seen_.try_emplace(*out, true).second) return true;
   }
+}
+
+Result<bool> DistinctOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  if (child_batch_.capacity() != out->capacity()) {
+    child_batch_ = RowBatch(out->capacity());
+  }
+  while (out->empty()) {
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
+    if (!has) return false;
+    for (Row& row : child_batch_.rows()) {
+      // try_emplace copies the row into the key slot, so moving the
+      // original afterwards is safe.
+      if (seen_.try_emplace(row, true).second) out->Add(std::move(row));
+    }
+  }
+  RecordBatch(ctx, out->size());
+  return true;
 }
 
 Status DistinctOp::Close(ExecContext* ctx) {

@@ -23,6 +23,7 @@ class HashGroupByOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -54,6 +55,7 @@ class StreamGroupByOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -63,6 +65,9 @@ class StreamGroupByOp : public PhysOp {
   Status StartGroup(const Row& row);
   Status Accumulate(ExecContext* ctx, const Row& row);
   Row FinishGroup();
+  /// True iff `row`'s key columns equal current_key_ — compared in place,
+  /// with no key-row materialization.
+  bool SameKeyAsCurrent(const Row& row) const;
 
   PhysOpPtr child_;
   std::vector<int> key_columns_;
@@ -74,6 +79,11 @@ class StreamGroupByOp : public PhysOp {
   bool child_done_ = false;
   Row pending_;  // first row of the next group, buffered across Next calls
   bool have_pending_ = false;
+
+  // Native batch path scratch: buffered child batch and the read cursor
+  // into it (batch analogue of `pending_`).
+  RowBatch child_batch_;
+  size_t child_pos_ = 0;
 };
 
 /// \brief Aggregation without grouping: exactly one output row, even on
@@ -105,6 +115,7 @@ class DistinctOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -113,6 +124,7 @@ class DistinctOp : public PhysOp {
  private:
   PhysOpPtr child_;
   std::unordered_map<Row, bool, RowHash, RowEq> seen_;
+  RowBatch child_batch_;
 };
 
 }  // namespace gapply

@@ -208,6 +208,24 @@ Result<bool> UnionAllOp::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
+Result<bool> UnionAllOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  // Forward the current branch's batches untouched; advance on EOS.
+  while (current_ < children_.size()) {
+    ASSIGN_OR_RETURN(bool has, children_[current_]->NextBatch(ctx, out));
+    if (has) {
+      RecordBatch(ctx, out->size());
+      return true;
+    }
+    RETURN_NOT_OK(children_[current_]->Close(ctx));
+    ++current_;
+    if (current_ < children_.size()) {
+      RETURN_NOT_OK(children_[current_]->Open(ctx));
+    }
+  }
+  return false;
+}
+
 Status UnionAllOp::Close(ExecContext* ctx) {
   // Children at indexes < current_ are already closed by Next.
   if (current_ < children_.size()) {

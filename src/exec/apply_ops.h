@@ -77,6 +77,7 @@ class UnionAllOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/row_batch.h"
 #include "src/expr/expr.h"
 #include "src/storage/schema.h"
 
@@ -40,6 +41,13 @@ class ExecContext {
     uint64_t rows_sorted = 0;
     uint64_t rows_hash_partitioned = 0;
 
+    // Vectorized execution: number of (non-empty) batches produced across
+    // all operators, and the rows they carried. batch_rows_produced /
+    // batches_produced is the pipeline-wide average batch fill; per-operator
+    // fill lives in PhysOp::batch_stats().
+    uint64_t batches_produced = 0;
+    uint64_t batch_rows_produced = 0;
+
     // Per-phase GApply attribution (nanoseconds): time spent partitioning
     // the outer input vs. executing per-group queries. For the parallel
     // path, gapply_pgq_ns is the wall-clock time of the parallel section
@@ -59,6 +67,8 @@ class ExecContext {
       apply_invocations += other.apply_invocations;
       rows_sorted += other.rows_sorted;
       rows_hash_partitioned += other.rows_hash_partitioned;
+      batches_produced += other.batches_produced;
+      batch_rows_produced += other.batch_rows_produced;
       gapply_partition_ns += other.gapply_partition_ns;
       gapply_pgq_ns += other.gapply_pgq_ns;
     }
@@ -68,6 +78,11 @@ class ExecContext {
   const EvalContext& eval() const { return eval_; }
 
   Counters& counters() { return counters_; }
+
+  /// Target rows per batch for `PhysOp::NextBatch` (a scheduling hint, see
+  /// RowBatch). 1 degenerates to row-at-a-time through the batch API.
+  size_t batch_size() const { return batch_size_; }
+  void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
 
   /// Pushes a group binding for `var`. `schema` and `rows` must outlive the
   /// binding.
@@ -106,6 +121,7 @@ class ExecContext {
     ExecContext child;
     child.eval_ = eval_;
     child.groups_ = groups_;
+    child.batch_size_ = batch_size_;
     return child;
   }
 
@@ -115,6 +131,7 @@ class ExecContext {
            std::vector<std::pair<const Schema*, const std::vector<Row>*>>>
       groups_;
   Counters counters_;
+  size_t batch_size_ = RowBatch::kDefaultCapacity;
 };
 
 }  // namespace gapply

@@ -9,7 +9,10 @@ FilterOp::FilterOp(PhysOpPtr child, ExprPtr predicate)
       child_(std::move(child)),
       predicate_(std::move(predicate)) {}
 
-Status FilterOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status FilterOp::Open(ExecContext* ctx) {
+  child_batch_.Clear();
+  return child_->Open(ctx);
+}
 
 Result<bool> FilterOp::Next(ExecContext* ctx, Row* out) {
   while (true) {
@@ -18,6 +21,27 @@ Result<bool> FilterOp::Next(ExecContext* ctx, Row* out) {
     ASSIGN_OR_RETURN(bool pass, EvalPredicate(*predicate_, *out, *ctx->eval()));
     if (pass) return true;
   }
+}
+
+Result<bool> FilterOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  if (child_batch_.capacity() != out->capacity()) {
+    child_batch_ = RowBatch(out->capacity());
+  }
+  // Pull child batches until some row survives the predicate (or EOS). The
+  // batch predicate evaluation plus the selection pass replace one virtual
+  // Next and one recursive Eval per input row.
+  while (out->empty()) {
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
+    if (!has) return false;
+    RETURN_NOT_OK(EvalPredicateBatch(*predicate_, child_batch_, *ctx->eval(),
+                                     &keep_));
+    for (size_t i = 0; i < child_batch_.size(); ++i) {
+      if (keep_[i]) out->Add(std::move(child_batch_[i]));
+    }
+  }
+  RecordBatch(ctx, out->size());
+  return true;
 }
 
 Status FilterOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
@@ -49,7 +73,10 @@ Result<PhysOpPtr> ProjectOp::Make(PhysOpPtr child, std::vector<ExprPtr> exprs,
       new ProjectOp(std::move(schema), std::move(child), std::move(exprs)));
 }
 
-Status ProjectOp::Open(ExecContext* ctx) { return child_->Open(ctx); }
+Status ProjectOp::Open(ExecContext* ctx) {
+  child_batch_.Clear();
+  return child_->Open(ctx);
+}
 
 Result<bool> ProjectOp::Next(ExecContext* ctx, Row* out) {
   Row in;
@@ -61,6 +88,32 @@ Result<bool> ProjectOp::Next(ExecContext* ctx, Row* out) {
     ASSIGN_OR_RETURN(Value v, e->Eval(in, *ctx->eval()));
     out->push_back(std::move(v));
   }
+  return true;
+}
+
+Result<bool> ProjectOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  if (child_batch_.capacity() != out->capacity()) {
+    child_batch_ = RowBatch(out->capacity());
+  }
+  ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &child_batch_));
+  if (!has) return false;
+  // Evaluate expression-at-a-time over the batch, then zip the columns
+  // back into rows.
+  columns_.resize(exprs_.size());
+  for (size_t e = 0; e < exprs_.size(); ++e) {
+    RETURN_NOT_OK(exprs_[e]->EvalBatch(child_batch_, *ctx->eval(),
+                                       &columns_[e]));
+  }
+  for (size_t i = 0; i < child_batch_.size(); ++i) {
+    Row row;
+    row.reserve(exprs_.size());
+    for (size_t e = 0; e < exprs_.size(); ++e) {
+      row.push_back(std::move(columns_[e][i]));
+    }
+    out->Add(std::move(row));
+  }
+  RecordBatch(ctx, out->size());
   return true;
 }
 
@@ -105,11 +158,11 @@ Status SortOp::Open(ExecContext* ctx) {
   rows_.clear();
   pos_ = 0;
   RETURN_NOT_OK(child_->Open(ctx));
-  Row row;
+  RowBatch batch(ctx->batch_size());
   while (true) {
-    ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &row));
+    ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &batch));
     if (!has) break;
-    rows_.push_back(std::move(row));
+    for (Row& row : batch.rows()) rows_.push_back(std::move(row));
   }
   RETURN_NOT_OK(child_->Close(ctx));
   ctx->counters().rows_sorted += rows_.size();
@@ -129,6 +182,18 @@ Status SortOp::Open(ExecContext* ctx) {
 Result<bool> SortOp::Next(ExecContext*, Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
+  return true;
+}
+
+Result<bool> SortOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  if (pos_ >= rows_.size()) return false;
+  const size_t n = std::min(out->capacity(), rows_.size() - pos_);
+  for (size_t i = 0; i < n; ++i) {
+    out->Add(std::move(rows_[pos_ + i]));
+  }
+  pos_ += n;
+  RecordBatch(ctx, n);
   return true;
 }
 

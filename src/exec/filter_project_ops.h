@@ -16,6 +16,7 @@ class FilterOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -24,6 +25,11 @@ class FilterOp : public PhysOp {
  private:
   PhysOpPtr child_;
   ExprPtr predicate_;
+
+  // Native batch path scratch: the current child batch and its selection
+  // flags, reused across NextBatch calls.
+  RowBatch child_batch_;
+  std::vector<char> keep_;
 };
 
 /// Computes one output column per expression.
@@ -36,6 +42,7 @@ class ProjectOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -46,6 +53,11 @@ class ProjectOp : public PhysOp {
 
   PhysOpPtr child_;
   std::vector<ExprPtr> exprs_;
+
+  // Native batch path scratch: child batch + one evaluated column per
+  // projection expression.
+  RowBatch child_batch_;
+  std::vector<std::vector<Value>> columns_;
 };
 
 /// Sort key: column index + direction. NULLs order first.
@@ -66,6 +78,7 @@ class SortOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;

@@ -66,16 +66,63 @@ Status GApplyOp::Partition(ExecContext* ctx) {
   groups_.clear();
 
   RETURN_NOT_OK(outer_->Open(ctx));
+  RowBatch batch(ctx->batch_size());
+
+  if (mode_ == PartitionMode::kHash) {
+    // Hash mode partitions batch-at-a-time, straight off the outer child:
+    // each batch's key hashes are precomputed in one pass, then rows are
+    // routed into their groups. Group keys are materialized exactly once
+    // per distinct group (on first appearance) — a row belonging to an
+    // existing group is matched by comparing its grouping columns in place
+    // against the stored key, with no per-row key row built.
+    std::unordered_map<size_t, std::vector<size_t>> index;  // hash → gids
+    std::vector<size_t> hashes;
+    const auto row_matches_key = [this](const Row& row, const Row& key) {
+      for (size_t i = 0; i < grouping_columns_.size(); ++i) {
+        const size_t c = static_cast<size_t>(grouping_columns_[i]);
+        if (!row[c].Equals(key[i])) return false;
+      }
+      return true;
+    };
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, outer_->NextBatch(ctx, &batch));
+      if (!has) break;
+      ctx->counters().rows_hash_partitioned += batch.size();
+      hashes.resize(batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        hashes[i] = HashRowColumns(batch[i], grouping_columns_);
+      }
+      index.reserve(index.size() + batch.size());
+      for (size_t i = 0; i < batch.size(); ++i) {
+        Row& r = batch[i];
+        std::vector<size_t>& bucket = index[hashes[i]];
+        size_t gid = groups_.size();
+        for (size_t cand : bucket) {
+          if (row_matches_key(r, group_keys_[cand])) {
+            gid = cand;
+            break;
+          }
+        }
+        if (gid == groups_.size()) {
+          bucket.push_back(gid);
+          group_keys_.push_back(ExtractKey(r, grouping_columns_));
+          groups_.emplace_back();
+        }
+        groups_[gid].push_back(std::move(r));
+      }
+    }
+    return outer_->Close(ctx);
+  }
+
   std::vector<Row> input;
-  Row row;
   while (true) {
-    ASSIGN_OR_RETURN(bool has, outer_->Next(ctx, &row));
+    ASSIGN_OR_RETURN(bool has, outer_->NextBatch(ctx, &batch));
     if (!has) break;
-    input.push_back(std::move(row));
+    for (Row& row : batch.rows()) input.push_back(std::move(row));
   }
   RETURN_NOT_OK(outer_->Close(ctx));
 
-  if (mode_ == PartitionMode::kSort) {
+  {
     ctx->counters().rows_sorted += input.size();
     std::stable_sort(input.begin(), input.end(),
                      [this](const Row& a, const Row& b) {
@@ -118,19 +165,6 @@ Status GApplyOp::Partition(ExecContext* ctx) {
         groups_.back().push_back(std::move(input[pos++]));
       }
     }
-  } else {
-    ctx->counters().rows_hash_partitioned += input.size();
-    std::unordered_map<Row, size_t, RowHash, RowEq> index;
-    index.reserve(input.size());
-    for (Row& r : input) {
-      Row key = ExtractKey(r, grouping_columns_);
-      auto [it, inserted] = index.try_emplace(key, groups_.size());
-      if (inserted) {
-        group_keys_.push_back(std::move(key));
-        groups_.emplace_back();
-      }
-      groups_[it->second].push_back(std::move(r));
-    }
   }
   return Status::OK();
 }
@@ -167,18 +201,20 @@ Status GApplyOp::ExecuteOneGroup(PhysOp* pgq, ExecContext* ctx, size_t g,
   }
   ctx->counters().pgq_executions++;
   const Row& key = group_keys_[g];
-  Row pgq_row;
+  RowBatch batch(ctx->batch_size());
   while (true) {
-    auto next = pgq->Next(ctx, &pgq_row);
+    auto next = pgq->NextBatch(ctx, &batch);
     if (!next.ok()) {
       (void)pgq->Close(ctx);
       (void)ctx->UnbindGroup(var_name_);
       return next.status();
     }
     if (!*next) break;
-    Row full;
-    AppendPrefixed(key, pgq_row, &full);
-    out->push_back(std::move(full));
+    for (const Row& pgq_row : batch.rows()) {
+      Row full;
+      AppendPrefixed(key, pgq_row, &full);
+      out->push_back(std::move(full));
+    }
   }
   st = pgq->Close(ctx);
   Status unbind = ctx->UnbindGroup(var_name_);
@@ -256,6 +292,7 @@ Status GApplyOp::Open(ExecContext* ctx) {
   group_open_ = false;
   parallel_exec_ = false;
   group_outputs_.clear();
+  pgq_batch_.Clear();
 
   const uint64_t t0 = NowNs();
   RETURN_NOT_OK(Partition(ctx));
@@ -304,6 +341,61 @@ Result<bool> GApplyOp::Next(ExecContext* ctx, Row* out) {
     ++current_group_;
   }
   return false;
+}
+
+Result<bool> GApplyOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+
+  if (parallel_exec_) {
+    // Slice ranges straight out of the per-group buffers, preserving the
+    // serial emission order.
+    while (current_group_ < group_outputs_.size() && !out->full()) {
+      std::vector<Row>& rows = group_outputs_[current_group_];
+      const size_t n = std::min(out->capacity() - out->size(),
+                                rows.size() - output_pos_);
+      for (size_t i = 0; i < n; ++i) {
+        out->Add(std::move(rows[output_pos_ + i]));
+      }
+      output_pos_ += n;
+      if (output_pos_ >= rows.size()) {
+        rows.clear();
+        rows.shrink_to_fit();
+        ++current_group_;
+        output_pos_ = 0;
+      }
+    }
+    if (out->empty()) return false;
+    RecordBatch(ctx, out->size());
+    return true;
+  }
+
+  // Serial phase 2: pull PGQ batches for the open group and emit them
+  // key-prefixed, rolling over group boundaries until the batch fills.
+  if (pgq_batch_.capacity() != out->capacity()) {
+    pgq_batch_ = RowBatch(out->capacity());
+  }
+  while (current_group_ < groups_.size() && !out->full()) {
+    if (!group_open_) RETURN_NOT_OK(OpenGroup(ctx));
+    auto next = pgq_->NextBatch(ctx, &pgq_batch_);
+    if (!next.ok()) {
+      (void)CloseGroup(ctx);
+      return next.status();
+    }
+    if (!*next) {
+      RETURN_NOT_OK(CloseGroup(ctx));
+      ++current_group_;
+      continue;
+    }
+    const Row& key = group_keys_[current_group_];
+    for (const Row& pgq_row : pgq_batch_.rows()) {
+      Row full;
+      AppendPrefixed(key, pgq_row, &full);
+      out->Add(std::move(full));
+    }
+  }
+  if (out->empty()) return false;
+  RecordBatch(ctx, out->size());
+  return true;
 }
 
 Status GApplyOp::Close(ExecContext* ctx) {

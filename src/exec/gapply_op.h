@@ -50,6 +50,7 @@ class GApplyOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -92,6 +93,9 @@ class GApplyOp : public PhysOp {
   bool parallel_exec_ = false;
   std::vector<std::vector<Row>> group_outputs_;
   size_t output_pos_ = 0;
+
+  // Native batch path scratch (serial phase 2): one PGQ batch per pull.
+  RowBatch pgq_batch_;
 };
 
 }  // namespace gapply

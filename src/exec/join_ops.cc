@@ -51,14 +51,17 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   table_.clear();
   build_rows_.clear();
   have_left_ = false;
+  probe_batch_.Clear();
 
-  // Build phase over the right child.
+  // Build phase over the right child, pulled batch-at-a-time.
   RETURN_NOT_OK(right_->Open(ctx));
-  Row row;
+  RowBatch batch(ctx->batch_size());
   while (true) {
-    ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    build_rows_.push_back(std::move(row));
+    for (Row& row : batch.rows()) {
+      build_rows_.push_back(std::move(row));
+    }
   }
   RETURN_NOT_OK(right_->Close(ctx));
   // Stable addresses now that build_rows_ stopped growing? vector may have
@@ -99,6 +102,37 @@ Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
+Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  if (probe_batch_.capacity() != out->capacity()) {
+    probe_batch_ = RowBatch(out->capacity());
+  }
+  // Probe one left batch at a time, emitting every match; a probe row's
+  // matches are an indivisible chunk, so the output batch may overshoot
+  // its capacity (RowBatch contract).
+  Row key;
+  Row joined;
+  while (out->empty()) {
+    ASSIGN_OR_RETURN(bool has, left_->NextBatch(ctx, &probe_batch_));
+    if (!has) return false;
+    for (const Row& left_row : probe_batch_.rows()) {
+      if (!ExtractKey(left_row, left_keys_, &key)) continue;
+      auto [it, end] = table_.equal_range(key);
+      for (; it != end; ++it) {
+        ConcatRows(left_row, *it->second, &joined);
+        if (residual_ != nullptr) {
+          ASSIGN_OR_RETURN(bool pass,
+                           EvalPredicate(*residual_, joined, *ctx->eval()));
+          if (!pass) continue;
+        }
+        out->Add(std::move(joined));
+      }
+    }
+  }
+  RecordBatch(ctx, out->size());
+  return true;
+}
+
 Status HashJoinOp::Close(ExecContext* ctx) {
   table_.clear();
   build_rows_.clear();
@@ -126,11 +160,13 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
   have_left_ = false;
   right_pos_ = 0;
   RETURN_NOT_OK(right_->Open(ctx));
-  Row row;
+  RowBatch batch(ctx->batch_size());
   while (true) {
-    ASSIGN_OR_RETURN(bool has, right_->Next(ctx, &row));
+    ASSIGN_OR_RETURN(bool has, right_->NextBatch(ctx, &batch));
     if (!has) break;
-    right_rows_.push_back(std::move(row));
+    for (Row& row : batch.rows()) {
+      right_rows_.push_back(std::move(row));
+    }
   }
   RETURN_NOT_OK(right_->Close(ctx));
   return left_->Open(ctx);

@@ -24,6 +24,7 @@ class HashJoinOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -44,6 +45,9 @@ class HashJoinOp : public PhysOp {
   bool have_left_ = false;
   std::pair<decltype(table_)::const_iterator, decltype(table_)::const_iterator>
       matches_;
+
+  // Native batch path scratch: one probe-side batch per pull.
+  RowBatch probe_batch_;
 };
 
 /// Inner nested-loops join with an arbitrary predicate (used when no

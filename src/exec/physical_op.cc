@@ -36,7 +36,42 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
+Result<bool> PhysOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  out->Clear();
+  Row row;
+  while (!out->full()) {
+    auto next = Next(ctx, &row);
+    if (!next.ok()) return next.status();
+    if (!*next) break;
+    out->Add(std::move(row));
+  }
+  if (out->empty()) return false;
+  RecordBatch(ctx, out->size());
+  return true;
+}
+
 Result<QueryResult> ExecuteToVector(PhysOp* root, ExecContext* ctx) {
+  QueryResult result;
+  result.schema = root->output_schema();
+  RETURN_NOT_OK(root->Open(ctx));
+  RowBatch batch(ctx->batch_size());
+  while (true) {
+    auto next = root->NextBatch(ctx, &batch);
+    if (!next.ok()) {
+      // Best effort close; surface the execution error.
+      (void)root->Close(ctx);
+      return next.status();
+    }
+    if (!*next) break;
+    for (Row& row : batch.rows()) {
+      result.rows.push_back(std::move(row));
+    }
+  }
+  RETURN_NOT_OK(root->Close(ctx));
+  return result;
+}
+
+Result<QueryResult> ExecuteToVectorRows(PhysOp* root, ExecContext* ctx) {
   QueryResult result;
   result.schema = root->output_schema();
   RETURN_NOT_OK(root->Open(ctx));
@@ -44,7 +79,6 @@ Result<QueryResult> ExecuteToVector(PhysOp* root, ExecContext* ctx) {
   while (true) {
     auto next = root->Next(ctx, &row);
     if (!next.ok()) {
-      // Best effort close; surface the execution error.
       (void)root->Close(ctx);
       return next.status();
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/row_batch.h"
 #include "src/exec/exec_context.h"
 #include "src/storage/schema.h"
 
@@ -19,9 +20,32 @@ namespace gapply {
 ///    per group).
 ///  - `Next` returns true and fills `*out` when a row is produced, false at
 ///    end of stream.
+///  - `NextBatch` is the vectorized form: it clears `*out`, appends rows,
+///    and returns true iff any were appended; false is end of stream. A
+///    non-empty batch may be *partial* (fewer than `out->capacity()` rows)
+///    at any time, and may overshoot the capacity when output comes in
+///    indivisible chunks (see RowBatch). Between one Open/Close pair a
+///    caller must drive an operator through either Next or NextBatch,
+///    never both: native batch implementations buffer child rows that the
+///    row-at-a-time path would not see.
 ///  - `Close` releases per-execution state.
 class PhysOp {
  public:
+  /// Per-operator batch accounting: how many batches this operator emitted
+  /// through NextBatch and how full they were. Cumulative across re-opens
+  /// (a PGQ operator re-opened per group accumulates its fill over all
+  /// groups).
+  struct BatchStats {
+    uint64_t batches = 0;
+    uint64_t rows = 0;
+
+    double AverageFill() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(rows) /
+                                static_cast<double>(batches);
+    }
+  };
+
   explicit PhysOp(Schema schema) : schema_(std::move(schema)) {}
   virtual ~PhysOp() = default;
 
@@ -31,6 +55,13 @@ class PhysOp {
   virtual Status Open(ExecContext* ctx) = 0;
   virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
   virtual Status Close(ExecContext* ctx) = 0;
+
+  /// Fills `*out` with the next batch of rows; see the class contract. The
+  /// base implementation adapts `Next` (correct for every operator);
+  /// hot operators override it with native batch paths.
+  virtual Result<bool> NextBatch(ExecContext* ctx, RowBatch* out);
+
+  const BatchStats& batch_stats() const { return batch_stats_; }
 
   /// Deep copy of the operator tree in its *pre-Open* configuration:
   /// children and expressions are cloned, runtime state (cursors, hash
@@ -52,7 +83,17 @@ class PhysOp {
   std::string DebugString(int indent = 0) const;
 
  protected:
+  /// Books a produced batch into the context counters and this operator's
+  /// stats. Every NextBatch implementation calls it before returning true.
+  void RecordBatch(ExecContext* ctx, size_t rows) {
+    ctx->counters().batches_produced++;
+    ctx->counters().batch_rows_produced += rows;
+    batch_stats_.batches++;
+    batch_stats_.rows += rows;
+  }
+
   Schema schema_;
+  BatchStats batch_stats_;
 };
 
 using PhysOpPtr = std::unique_ptr<PhysOp>;
@@ -66,8 +107,14 @@ struct QueryResult {
   std::string ToString(size_t max_rows = 50) const;
 };
 
-/// Runs root->Open/Next*/Close and materializes all output rows.
+/// Runs root->Open / NextBatch* / Close and materializes all output rows.
+/// Batches are sized by `ctx->batch_size()`.
 Result<QueryResult> ExecuteToVector(PhysOp* root, ExecContext* ctx);
+
+/// Row-at-a-time variant driving the root through `Next` — the pre-batch
+/// execution loop, kept as the baseline the vectorized path is validated
+/// and benchmarked against.
+Result<QueryResult> ExecuteToVectorRows(PhysOp* root, ExecContext* ctx);
 
 /// True iff the two row collections are equal as multisets (grouping
 /// equality per value). Used pervasively by tests: the engine promises

@@ -1,6 +1,25 @@
 #include "src/exec/scan_ops.h"
 
+#include <algorithm>
+
 namespace gapply {
+
+namespace {
+
+// Shared native batch path of the three scans: range-copy `rows[*pos..)`
+// into `out`, up to its capacity.
+bool ScanIntoBatch(const std::vector<Row>& rows, size_t* pos, RowBatch* out) {
+  out->Clear();
+  if (*pos >= rows.size()) return false;
+  const size_t n = std::min(out->capacity(), rows.size() - *pos);
+  for (size_t i = 0; i < n; ++i) {
+    out->Add(rows[*pos + i]);
+  }
+  *pos += n;
+  return true;
+}
+
+}  // namespace
 
 TableScanOp::TableScanOp(const Table* table, std::string alias)
     : PhysOp(alias.empty() ? table->schema()
@@ -17,6 +36,13 @@ Result<bool> TableScanOp::Next(ExecContext* ctx, Row* out) {
   if (pos_ >= table_->num_rows()) return false;
   *out = table_->rows()[pos_++];
   ctx->counters().rows_scanned++;
+  return true;
+}
+
+Result<bool> TableScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  if (!ScanIntoBatch(table_->rows(), &pos_, out)) return false;
+  ctx->counters().rows_scanned += out->size();
+  RecordBatch(ctx, out->size());
   return true;
 }
 
@@ -58,6 +84,14 @@ Result<bool> GroupScanOp::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
+Result<bool> GroupScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  if (rows_ == nullptr) return Status::Internal("GroupScan not opened");
+  if (!ScanIntoBatch(*rows_, &pos_, out)) return false;
+  ctx->counters().group_rows_scanned += out->size();
+  RecordBatch(ctx, out->size());
+  return true;
+}
+
 Status GroupScanOp::Close(ExecContext*) {
   rows_ = nullptr;
   return Status::OK();
@@ -82,6 +116,12 @@ Status ValuesOp::Open(ExecContext*) {
 Result<bool> ValuesOp::Next(ExecContext*, Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
+  return true;
+}
+
+Result<bool> ValuesOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+  if (!ScanIntoBatch(rows_, &pos_, out)) return false;
+  RecordBatch(ctx, out->size());
   return true;
 }
 

@@ -16,6 +16,7 @@ class TableScanOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -37,6 +38,7 @@ class GroupScanOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
@@ -56,6 +58,7 @@ class ValuesOp : public PhysOp {
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
   Status Close(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/row_batch.h"
 #include "src/common/value.h"
 #include "src/storage/schema.h"
 
@@ -68,6 +69,14 @@ class Expr {
   /// Evaluates against `row` (the current input tuple).
   virtual Result<Value> Eval(const Row& row, const EvalContext& ctx) const = 0;
 
+  /// Evaluates against every row of `batch`, filling `*out` (cleared first)
+  /// with one value per row. The base implementation loops `Eval`;
+  /// literals, column references, and binary operators over them override
+  /// it with non-recursive fast paths, which is where vectorized Filter /
+  /// Project get their speedup. Semantics are identical to per-row Eval.
+  virtual Status EvalBatch(const RowBatch& batch, const EvalContext& ctx,
+                           std::vector<Value>* out) const;
+
   virtual std::unique_ptr<Expr> Clone() const = 0;
   virtual std::string ToString() const = 0;
 
@@ -102,6 +111,8 @@ class LiteralExpr : public Expr {
   const Value& value() const { return value_; }
 
   Result<Value> Eval(const Row& row, const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const EvalContext& ctx,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   bool StructurallyEquals(const Expr& other) const override;
@@ -124,6 +135,8 @@ class ColumnRefExpr : public Expr {
   const std::string& name() const { return name_; }
 
   Result<Value> Eval(const Row& row, const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const EvalContext& ctx,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   bool StructurallyEquals(const Expr& other) const override;
@@ -152,6 +165,8 @@ class CorrelatedColumnRefExpr : public Expr {
   const std::string& name() const { return name_; }
 
   Result<Value> Eval(const Row& row, const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const EvalContext& ctx,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   bool StructurallyEquals(const Expr& other) const override;
@@ -196,6 +211,8 @@ class BinaryExpr : public Expr {
   const Expr& right() const { return *right_; }
 
   Result<Value> Eval(const Row& row, const EvalContext& ctx) const override;
+  Status EvalBatch(const RowBatch& batch, const EvalContext& ctx,
+                   std::vector<Value>* out) const override;
   ExprPtr Clone() const override;
   std::string ToString() const override;
   bool StructurallyEquals(const Expr& other) const override;
@@ -249,6 +266,12 @@ ExprPtr Or(ExprPtr l, ExprPtr r);
 /// (SQL WHERE semantics).
 Result<bool> EvalPredicate(const Expr& pred, const Row& row,
                            const EvalContext& ctx);
+
+/// Batch form of EvalPredicate: fills `*keep` (cleared first) with one 0/1
+/// flag per batch row. Uses EvalBatch, so comparison predicates over
+/// literals/column refs run the non-recursive fast path.
+Status EvalPredicateBatch(const Expr& pred, const RowBatch& batch,
+                          const EvalContext& ctx, std::vector<char>* keep);
 
 /// Splits a predicate on AND into its conjuncts (ownership transferred).
 std::vector<ExprPtr> SplitConjuncts(ExprPtr pred);

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <unordered_set>
+#include <vector>
+
 #include "src/common/result.h"
 #include "src/common/status.h"
 #include "src/common/value.h"
@@ -146,6 +149,33 @@ TEST(RowTest, RowEqualityAndHash) {
   EXPECT_EQ(RowHash()(a), RowHash()(b));
   EXPECT_TRUE(RowEq()(a, b));
   EXPECT_EQ(RowToString(a), "(1, NULL, x)");
+}
+
+TEST(RowTest, HashCombineSpreadsAdjacentIntKeys) {
+  // The multiply-then-xor combiner this replaced collapsed adjacent
+  // single-int keys into few distinct hashes once masked down to a small
+  // bucket count. Golden-ratio hash-combine must keep collisions near the
+  // birthday bound: 4096 adjacent keys over 1<<16 buckets.
+  constexpr int kKeys = 4096;
+  constexpr size_t kMask = (1u << 16) - 1;
+  std::unordered_set<size_t> buckets;
+  for (int i = 0; i < kKeys; ++i) {
+    buckets.insert(RowHash()(Row{Value::Int(i)}) & kMask);
+  }
+  // Expected distinct buckets ~ m(1 - e^{-n/m}) ≈ 3969; demand at least 90%.
+  EXPECT_GE(buckets.size(), static_cast<size_t>(kKeys * 9 / 10));
+
+  // Two-column keys (k, v) with small adjacent ranges must not collide
+  // pairwise-symmetrically: (a, b) and (b, a) hash differently in general.
+  EXPECT_NE(RowHash()(Row{Value::Int(1), Value::Int(2)}),
+            RowHash()(Row{Value::Int(2), Value::Int(1)}));
+}
+
+TEST(RowTest, HashRowColumnsMatchesRowHashOfExtractedKey) {
+  Row row = {Value::Int(7), Value::Str("x"), Value::Double(1.5)};
+  const std::vector<int> cols = {0, 2};
+  Row key = {row[0], row[2]};
+  EXPECT_EQ(HashRowColumns(row, cols), RowHash()(key));
 }
 
 }  // namespace
