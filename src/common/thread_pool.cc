@@ -1,9 +1,39 @@
 #include "src/common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <utility>
 
 namespace gapply {
+
+namespace {
+
+/// Shared state of one RunGroup call. Owned by shared_ptr so wake tokens
+/// still queued when the group finishes (every task already claimed) find
+/// an exhausted cursor and return without touching freed memory.
+struct GroupState {
+  std::vector<std::function<void()>> tasks;
+  std::atomic<size_t> next{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+};
+
+void RunGroupTasks(const std::shared_ptr<GroupState>& g) {
+  while (true) {
+    const size_t i = g->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= g->tasks.size()) return;
+    g->tasks[i]();
+    {
+      std::lock_guard<std::mutex> lock(g->mu);
+      ++g->completed;
+    }
+    g->done_cv.notify_all();
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   const size_t n = std::max<size_t>(1, num_threads);
@@ -33,6 +63,39 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::RunGroup(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  auto g = std::make_shared<GroupState>();
+  g->tasks = std::move(tasks);
+  // One wake token per pool worker that could usefully help; the caller
+  // covers the last task itself.
+  const size_t helpers = std::min(size(), g->tasks.size() - 1);
+  for (size_t i = 0; i < helpers; ++i) {
+    Submit([g] { RunGroupTasks(g); });
+  }
+  RunGroupTasks(g);
+  std::unique_lock<std::mutex> lock(g->mu);
+  g->done_cv.wait(lock, [&] { return g->completed == g->tasks.size(); });
+}
+
+void RunTaskGroup(ThreadPool* pool, std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (tasks.size() == 1) {
+    tasks[0]();
+    return;
+  }
+  if (pool != nullptr) {
+    pool->RunGroup(std::move(tasks));
+    return;
+  }
+  ThreadPool transient(tasks.size() - 1);
+  transient.RunGroup(std::move(tasks));
 }
 
 size_t ThreadPool::DefaultParallelism() {

@@ -41,6 +41,18 @@ class ThreadPool {
   /// Blocks until the queue is empty and no task is running.
   void WaitIdle();
 
+  /// \brief Runs `tasks` to completion and returns. The calling thread
+  /// *helps*: it claims tasks from the group alongside the pool workers, so
+  /// the group always makes progress even when every pool worker is busy —
+  /// which makes nested use safe (a task running on this pool may itself
+  /// call RunGroup on the same pool without deadlocking; in the worst case
+  /// the nested caller just executes its whole group inline).
+  ///
+  /// Tasks may run in any order and must not throw. Unlike Submit/WaitIdle,
+  /// RunGroup waits only for *its own* tasks, so concurrent groups from
+  /// different operators do not serialize behind each other.
+  void RunGroup(std::vector<std::function<void()>> tasks);
+
   /// The degree of parallelism to use when the caller asks for "all the
   /// hardware": std::thread::hardware_concurrency(), clamped to at least 1.
   static size_t DefaultParallelism();
@@ -56,6 +68,13 @@ class ThreadPool {
   size_t active_ = 0;                // tasks currently executing
   bool shutdown_ = false;
 };
+
+/// \brief Runs a group of tasks with caller help on `pool`, or — when the
+/// caller has no pool (standalone operator tests) — on a transient pool
+/// sized for the group. The shared-engine entry point used by every
+/// parallel operator (GApply phase 2, Exchange, parallel join build,
+/// parallel aggregation).
+void RunTaskGroup(ThreadPool* pool, std::vector<std::function<void()>> tasks);
 
 }  // namespace gapply
 

@@ -21,6 +21,19 @@ void Database::set_default_gapply_parallelism(size_t dop) {
       dop == 0 ? ThreadPool::DefaultParallelism() : dop;
 }
 
+ThreadPool* Database::shared_thread_pool(size_t max_dop) {
+  // The caller helps drain task groups (ThreadPool::RunGroup), so a pool of
+  // N threads serves N + 1 concurrent workers. Size for the larger of the
+  // hardware and the requested DOP; recreate only when too small so the
+  // pool is warm across queries.
+  const size_t want = std::max(ThreadPool::DefaultParallelism(), max_dop);
+  const size_t threads = want > 1 ? want - 1 : 1;
+  if (thread_pool_ == nullptr || thread_pool_->size() < threads) {
+    thread_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return thread_pool_.get();
+}
+
 Status Database::ApplySetStatement(const sql::SetStatement& stmt) {
   if (stmt.name == "parallelism" || stmt.name == "gapply_parallelism") {
     if (stmt.value < 0) {
@@ -71,10 +84,16 @@ Result<QueryResult> Database::Execute(const LogicalOp& plan,
   if (lowering.gapply_parallelism == 0) {
     lowering.gapply_parallelism = default_gapply_parallelism_;
   }
+  if (lowering.exchange_parallelism == 0) {
+    lowering.exchange_parallelism = default_gapply_parallelism_;
+  }
   ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, lowering));
   ExecContext ctx;
   ctx.set_batch_size(options.batch_size == 0 ? default_batch_size_
                                              : options.batch_size);
+  const size_t max_dop =
+      std::max(lowering.gapply_parallelism, lowering.exchange_parallelism);
+  if (max_dop > 1) ctx.set_thread_pool(shared_thread_pool(max_dop));
   ASSIGN_OR_RETURN(QueryResult result, ExecuteToVector(phys.get(), &ctx));
   if (stats_out != nullptr) stats_out->counters = ctx.counters();
   return result;
@@ -100,6 +119,9 @@ Result<std::string> Database::Explain(const std::string& sql,
     LoweringOptions lowering = options.lowering;
     if (lowering.gapply_parallelism == 0) {
       lowering.gapply_parallelism = default_gapply_parallelism_;
+    }
+    if (lowering.exchange_parallelism == 0) {
+      lowering.exchange_parallelism = default_gapply_parallelism_;
     }
     ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*optimized, lowering));
     out += "=== physical plan ===\n" + phys->DebugString();

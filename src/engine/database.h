@@ -1,7 +1,10 @@
 #ifndef GAPPLY_ENGINE_DATABASE_H_
 #define GAPPLY_ENGINE_DATABASE_H_
 
+#include <memory>
 #include <string>
+
+#include "src/common/thread_pool.h"
 
 #include "src/exec/lowering.h"
 #include "src/exec/physical_op.h"
@@ -44,11 +47,16 @@ struct QueryStats {
 ///       "from partsupp group by ps_suppkey : g");
 ///
 /// Session options: `Query` also accepts `SET parallelism = N` (N workers
-/// for every GApply's per-group phase; 1 = serial, 0 = all hardware
-/// threads) and `SET batch_size = N` (rows per RowBatch in the vectorized
-/// pipeline; 1 degenerates to row-at-a-time). Both persist for the session
-/// and apply to every subsequent query whose QueryOptions do not override
-/// them.
+/// for GApply's per-group phase AND for plan-wide morsel parallelism —
+/// Exchange fan-out, parallel hash-join build, parallel hash aggregation;
+/// 1 = serial, 0 = all hardware threads) and `SET batch_size = N` (rows per
+/// RowBatch in the vectorized pipeline; 1 degenerates to row-at-a-time).
+/// Both persist for the session and apply to every subsequent query whose
+/// QueryOptions do not override them.
+///
+/// Parallel execution draws workers from a single Database-owned ThreadPool
+/// shared by every query and every operator (Exchange, GApply, parallel
+/// builds), instead of spinning a pool per execution.
 class Database {
  public:
   Database() = default;
@@ -100,10 +108,16 @@ class Database {
   /// Applies a parsed `SET name = value` statement to the session.
   Status ApplySetStatement(const sql::SetStatement& stmt);
 
+  /// Returns the shared engine pool, (re)created lazily so that the pool's
+  /// runner count (pool threads + the helping caller) covers `max_dop`
+  /// workers. Never shrinks an existing pool.
+  ThreadPool* shared_thread_pool(size_t max_dop);
+
   Catalog catalog_;
   StatsManager stats_;
   size_t default_gapply_parallelism_ = 1;
   size_t default_batch_size_ = RowBatch::kDefaultCapacity;
+  std::unique_ptr<ThreadPool> thread_pool_;
 };
 
 }  // namespace gapply

@@ -1,6 +1,10 @@
 #include "src/exec/agg_ops.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+
+#include "src/common/thread_pool.h"
 
 namespace gapply {
 
@@ -61,16 +65,37 @@ Schema HashGroupByOp::MakeOutputSchema(const Schema& input,
 }
 
 HashGroupByOp::HashGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
-                             std::vector<AggregateDesc> aggs)
+                             std::vector<AggregateDesc> aggs,
+                             size_t parallelism)
     : PhysOp(MakeOutputSchema(child->output_schema(), key_columns, aggs)),
       child_(std::move(child)),
       key_columns_(std::move(key_columns)),
-      aggs_(std::move(aggs)) {}
+      aggs_(std::move(aggs)),
+      parallelism_(std::max<size_t>(1, parallelism)) {}
 
 Status HashGroupByOp::Open(ExecContext* ctx) {
   output_.clear();
   pos_ = 0;
   RETURN_NOT_OK(child_->Open(ctx));
+
+  if (parallelism_ > 1 && AggregateMergeIsExact(aggs_)) {
+    // Candidate for parallel partial aggregation: buffer the input first
+    // (the aggregate is a full pipeline breaker anyway), then pick the
+    // parallel or serial path purely on input size — never on the DOP — so
+    // the path choice is identical across DOPs for the same input.
+    std::vector<Row> input;
+    RowBatch batch(ctx->batch_size());
+    while (true) {
+      ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, &batch));
+      if (!has) break;
+      for (Row& row : batch.rows()) input.push_back(std::move(row));
+    }
+    RETURN_NOT_OK(child_->Close(ctx));
+    if (input.size() >= kParallelAggMinRows) {
+      return AggregateParallel(ctx, input);
+    }
+    return AggregateBuffered(ctx, input);
+  }
 
   // Key → accumulator set; groups_order keeps first-appearance order.
   std::unordered_map<Row, size_t, RowHash, RowEq> index;
@@ -98,6 +123,150 @@ Status HashGroupByOp::Open(ExecContext* ctx) {
   for (size_t g = 0; g < groups.size(); ++g) {
     Row out = keys[g];
     for (const auto& acc : groups[g]) out.push_back(acc->Finish());
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOp::AggregateBuffered(ExecContext* ctx,
+                                        const std::vector<Row>& input) {
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Row> keys;
+  std::vector<std::vector<std::unique_ptr<AggAccumulator>>> groups;
+  for (const Row& row : input) {
+    Row key = ExtractKey(row, key_columns_);
+    auto [it, inserted] = index.try_emplace(key, groups.size());
+    if (inserted) {
+      keys.push_back(std::move(key));
+      groups.push_back(MakeAccumulators(aggs_));
+    }
+    RETURN_NOT_OK(
+        AddRowToAccumulators(aggs_, groups[it->second], row, *ctx->eval()));
+  }
+  output_.reserve(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    Row out = keys[g];
+    for (const auto& acc : groups[g]) out.push_back(acc->Finish());
+    output_.push_back(std::move(out));
+  }
+  return Status::OK();
+}
+
+Status HashGroupByOp::AggregateParallel(ExecContext* ctx,
+                                        const std::vector<Row>& input) {
+  constexpr size_t kMorselRows = 4096;
+  const size_t n = input.size();
+  const size_t num_morsels = (n + kMorselRows - 1) / kMorselRows;
+  const size_t dop = std::min(parallelism_, num_morsels);
+
+  // Per-worker partial state. Each worker clones the aggregate descriptors
+  // (their argument expressions are evaluated concurrently) and records,
+  // per group, the global row index of its first appearance in that
+  // worker's morsels.
+  struct Partial {
+    std::unordered_map<Row, size_t, RowHash, RowEq> index;
+    std::vector<Row> keys;
+    std::vector<std::vector<std::unique_ptr<AggAccumulator>>> groups;
+    std::vector<uint64_t> first_pos;
+    std::vector<AggregateDesc> aggs;
+    ExecContext wctx;
+    Status error = Status::OK();
+    uint64_t error_pos = 0;
+    bool failed = false;
+  };
+  std::vector<Partial> partials(dop);
+  for (Partial& p : partials) {
+    p.aggs = CloneAggregates(aggs_);
+    p.wctx = ctx->ForkForWorker();
+  }
+
+  // Workers claim morsels through a monotone shared cursor and abort only
+  // between morsels, so every morsel before any claimed one runs to
+  // completion — which makes "smallest failing row index" the error serial
+  // execution would hit first.
+  std::atomic<size_t> next_morsel{0};
+  std::atomic<bool> abort{false};
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(dop);
+  for (size_t w = 0; w < dop; ++w) {
+    tasks.push_back([&, w] {
+      Partial& p = partials[w];
+      while (!abort.load(std::memory_order_relaxed)) {
+        const size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
+        if (m >= num_morsels) break;
+        const size_t begin = m * kMorselRows;
+        const size_t end = std::min(n, begin + kMorselRows);
+        for (size_t i = begin; i < end; ++i) {
+          const Row& row = input[i];
+          Row key = ExtractKey(row, key_columns_);
+          auto [it, inserted] = p.index.try_emplace(key, p.groups.size());
+          if (inserted) {
+            p.keys.push_back(std::move(key));
+            p.groups.push_back(MakeAccumulators(p.aggs));
+            p.first_pos.push_back(i);
+          }
+          Status st = AddRowToAccumulators(p.aggs, p.groups[it->second], row,
+                                           *p.wctx.eval());
+          if (!st.ok()) {
+            p.error = std::move(st);
+            p.error_pos = i;
+            p.failed = true;
+            abort.store(true, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  RunTaskGroup(ctx->thread_pool(), std::move(tasks));
+
+  for (Partial& p : partials) {
+    ctx->counters().MergeFrom(p.wctx.counters());
+  }
+  const Partial* first_failure = nullptr;
+  for (const Partial& p : partials) {
+    if (p.failed && (first_failure == nullptr ||
+                     p.error_pos < first_failure->error_pos)) {
+      first_failure = &p;
+    }
+  }
+  if (first_failure != nullptr) return first_failure->error;
+
+  // Merge the partials (exact, so merge order is irrelevant), keeping the
+  // minimum global first-appearance position per group, then emit in that
+  // order — exactly the serial first-appearance group order.
+  struct Merged {
+    size_t partial;
+    size_t group;
+    uint64_t first_pos;
+  };
+  std::unordered_map<Row, size_t, RowHash, RowEq> index;
+  std::vector<Merged> merged;
+  for (size_t w = 0; w < partials.size(); ++w) {
+    Partial& p = partials[w];
+    for (size_t g = 0; g < p.keys.size(); ++g) {
+      auto [it, inserted] = index.try_emplace(p.keys[g], merged.size());
+      if (inserted) {
+        merged.push_back({w, g, p.first_pos[g]});
+        continue;
+      }
+      Merged& m = merged[it->second];
+      Partial& owner = partials[m.partial];
+      for (size_t a = 0; a < aggs_.size(); ++a) {
+        RETURN_NOT_OK(owner.groups[m.group][a]->Merge(*p.groups[g][a]));
+      }
+      m.first_pos = std::min(m.first_pos, p.first_pos[g]);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Merged& a, const Merged& b) {
+              return a.first_pos < b.first_pos;
+            });
+  output_.reserve(merged.size());
+  for (const Merged& m : merged) {
+    Partial& p = partials[m.partial];
+    Row out = std::move(p.keys[m.group]);
+    for (const auto& acc : p.groups[m.group]) out.push_back(acc->Finish());
     output_.push_back(std::move(out));
   }
   return Status::OK();
@@ -134,7 +303,10 @@ std::string HashGroupByOp::DebugName() const {
                 .column(static_cast<size_t>(key_columns_[i]))
                 .name;
   }
-  return "HashGroupBy(keys=[" + keys + "], aggs=[" + AggList(aggs_) + "])";
+  std::string out = "HashGroupBy(keys=[" + keys + "], aggs=[" +
+                    AggList(aggs_) + "]";
+  if (parallelism_ > 1) out += ", dop=" + std::to_string(parallelism_);
+  return out + ")";
 }
 
 StreamGroupByOp::StreamGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
@@ -265,7 +437,7 @@ Status StreamGroupByOp::Close(ExecContext* ctx) {
 
 PhysOpPtr HashGroupByOp::Clone() const {
   return std::make_unique<HashGroupByOp>(child_->Clone(), key_columns_,
-                                         CloneAggregates(aggs_));
+                                         CloneAggregates(aggs_), parallelism_);
 }
 
 std::string StreamGroupByOp::DebugName() const {

@@ -16,10 +16,23 @@ namespace gapply {
 ///
 /// Output group order is first-appearance order in the input (deterministic
 /// for a deterministic child).
+///
+/// With `parallelism` > 1, an input of at least `kParallelAggMinRows` rows,
+/// and aggregates whose partial merge is exact (`AggregateMergeIsExact`),
+/// the input is buffered and aggregated by workers into per-worker partial
+/// tables over row morsels; partials are merged with `AggAccumulator::Merge`
+/// and the merged groups are emitted sorted by their global
+/// first-appearance row position — bit-for-bit the serial output. Inexact
+/// aggregates (AVG, SUM over doubles, DISTINCT) fall back to the serial
+/// path regardless of the knob.
 class HashGroupByOp : public PhysOp {
  public:
+  /// Inputs smaller than this aggregate serially even when a parallelism
+  /// knob is set.
+  static constexpr size_t kParallelAggMinRows = 4096;
+
   HashGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
-                std::vector<AggregateDesc> aggs);
+                std::vector<AggregateDesc> aggs, size_t parallelism = 1);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
@@ -29,15 +42,25 @@ class HashGroupByOp : public PhysOp {
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
+  size_t parallelism() const { return parallelism_; }
+  void set_parallelism(size_t dop) { parallelism_ = dop == 0 ? 1 : dop; }
+
   /// Shared with StreamGroupByOp: keys' columns followed by agg outputs.
   static Schema MakeOutputSchema(const Schema& input,
                                  const std::vector<int>& key_columns,
                                  const std::vector<AggregateDesc>& aggs);
 
  private:
+  /// Serial aggregation of buffered rows (parallel path fallback for small
+  /// inputs, keeping group order identical to the streaming path).
+  Status AggregateBuffered(ExecContext* ctx, const std::vector<Row>& input);
+  /// Morsel-parallel partial aggregation + deterministic merge.
+  Status AggregateParallel(ExecContext* ctx, const std::vector<Row>& input);
+
   PhysOpPtr child_;
   std::vector<int> key_columns_;
   std::vector<AggregateDesc> aggs_;
+  size_t parallelism_ = 1;
 
   std::vector<Row> output_;
   size_t pos_ = 0;

@@ -14,6 +14,8 @@
 
 namespace gapply {
 
+class ThreadPool;
+
 /// \brief Per-execution mutable state shared by all operators in a plan.
 ///
 /// Holds the two kinds of parameter bindings the paper's algebra needs:
@@ -55,6 +57,14 @@ class ExecContext {
     uint64_t gapply_partition_ns = 0;
     uint64_t gapply_pgq_ns = 0;
 
+    // Per-phase Exchange attribution: wall-clock time of the parallel
+    // morsel fan-out (partition phase, during Open) and of streaming the
+    // per-morsel buffers back out in morsel order (merge phase, during
+    // Next/NextBatch), plus the total rows the exchanges produced.
+    uint64_t exchange_partition_ns = 0;
+    uint64_t exchange_merge_ns = 0;
+    uint64_t exchange_rows = 0;
+
     void Reset() { *this = Counters(); }
 
     /// Accumulates `other` into this set of counters. Used to fold
@@ -71,6 +81,9 @@ class ExecContext {
       batch_rows_produced += other.batch_rows_produced;
       gapply_partition_ns += other.gapply_partition_ns;
       gapply_pgq_ns += other.gapply_pgq_ns;
+      exchange_partition_ns += other.exchange_partition_ns;
+      exchange_merge_ns += other.exchange_merge_ns;
+      exchange_rows += other.exchange_rows;
     }
   };
 
@@ -83,6 +96,13 @@ class ExecContext {
   /// RowBatch). 1 degenerates to row-at-a-time through the batch API.
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  /// Shared engine worker pool for parallel operators (GApply phase 2,
+  /// Exchange, parallel join build / aggregation), owned by the Database
+  /// for the session. nullptr (standalone plans built in tests) makes
+  /// `RunTaskGroup` fall back to a transient pool per parallel section.
+  ThreadPool* thread_pool() const { return thread_pool_; }
+  void set_thread_pool(ThreadPool* pool) { thread_pool_ = pool; }
 
   /// Pushes a group binding for `var`. `schema` and `rows` must outlive the
   /// binding.
@@ -122,6 +142,7 @@ class ExecContext {
     child.eval_ = eval_;
     child.groups_ = groups_;
     child.batch_size_ = batch_size_;
+    child.thread_pool_ = thread_pool_;
     return child;
   }
 
@@ -132,6 +153,7 @@ class ExecContext {
       groups_;
   Counters counters_;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
+  ThreadPool* thread_pool_ = nullptr;
 };
 
 }  // namespace gapply

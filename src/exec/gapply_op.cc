@@ -242,32 +242,33 @@ Status GApplyOp::ExecuteGroupsParallel(ExecContext* ctx) {
   // Morsel-driven scheduling: workers claim the next unprocessed group
   // through a shared cursor. Each group's output goes to its own slot in
   // group_outputs_, so no two workers ever write the same element and the
-  // final stream order is independent of scheduling.
+  // final stream order is independent of scheduling. The worker loops run
+  // as one task group on the shared engine pool (with the calling thread
+  // helping), falling back to a transient pool for standalone plans — no
+  // per-execution thread spawn/join when a Database pool is present.
   std::atomic<size_t> next_group{0};
   std::atomic<bool> abort{false};
-  {
-    ThreadPool pool(dop);
-    for (size_t w = 0; w < dop; ++w) {
-      pool.Submit([this, &workers, &next_group, &abort, w] {
-        WorkerState& ws = workers[w];
-        while (!abort.load(std::memory_order_relaxed)) {
-          const size_t g =
-              next_group.fetch_add(1, std::memory_order_relaxed);
-          if (g >= groups_.size()) break;
-          Status st = ExecuteOneGroup(ws.pgq.get(), &ws.ctx, g,
-                                      &group_outputs_[g]);
-          if (!st.ok()) {
-            ws.error = std::move(st);
-            ws.error_group = g;
-            ws.failed = true;
-            abort.store(true, std::memory_order_relaxed);
-            break;
-          }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(dop);
+  for (size_t w = 0; w < dop; ++w) {
+    tasks.push_back([this, &workers, &next_group, &abort, w] {
+      WorkerState& ws = workers[w];
+      while (!abort.load(std::memory_order_relaxed)) {
+        const size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
+        if (g >= groups_.size()) break;
+        Status st = ExecuteOneGroup(ws.pgq.get(), &ws.ctx, g,
+                                    &group_outputs_[g]);
+        if (!st.ok()) {
+          ws.error = std::move(st);
+          ws.error_group = g;
+          ws.failed = true;
+          abort.store(true, std::memory_order_relaxed);
+          break;
         }
-      });
-    }
-    pool.WaitIdle();
+      }
+    });
   }
+  RunTaskGroup(ctx->thread_pool(), std::move(tasks));
 
   for (WorkerState& w : workers) {
     ctx->counters().MergeFrom(w.ctx.counters());

@@ -1,5 +1,10 @@
 #include "src/exec/join_ops.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "src/common/thread_pool.h"
+
 namespace gapply {
 
 namespace {
@@ -39,16 +44,85 @@ std::string KeyList(const Schema& schema, const std::vector<int>& cols) {
 
 HashJoinOp::HashJoinOp(PhysOpPtr left, PhysOpPtr right,
                        std::vector<int> left_keys, std::vector<int> right_keys,
-                       ExprPtr residual)
+                       ExprPtr residual, size_t parallelism)
     : PhysOp(Schema::Concat(left->output_schema(), right->output_schema())),
       left_(std::move(left)),
       right_(std::move(right)),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
-      residual_(std::move(residual)) {}
+      residual_(std::move(residual)),
+      parallelism_(std::max<size_t>(1, parallelism)) {}
+
+void HashJoinOp::BuildParallel(ExecContext* ctx) {
+  // Phase 1: workers claim fixed-size chunks of the build rows and route
+  // each row (by key hash) into a per-(chunk, shard) index list. Storing
+  // the lists per chunk keeps a shard's rows in global build order once the
+  // chunks are walked in order.
+  constexpr size_t kChunkRows = 8192;
+  const size_t n = build_rows_.size();
+  const size_t num_chunks = (n + kChunkRows - 1) / kChunkRows;
+  const size_t nshards = parallelism_;
+  std::vector<std::vector<std::vector<uint32_t>>> routed(
+      num_chunks, std::vector<std::vector<uint32_t>>(nshards));
+
+  std::atomic<size_t> next_chunk{0};
+  const auto route_chunks = [&] {
+    Row key;
+    while (true) {
+      const size_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * kChunkRows;
+      const size_t end = std::min(n, begin + kChunkRows);
+      for (size_t i = begin; i < end; ++i) {
+        if (!ExtractKey(build_rows_[i], right_keys_, &key)) continue;
+        routed[c][RowHash{}(key) % nshards].push_back(
+            static_cast<uint32_t>(i));
+      }
+    }
+  };
+
+  const size_t dop = std::min(parallelism_, num_chunks);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(dop);
+  for (size_t w = 0; w < dop; ++w) tasks.push_back(route_chunks);
+  RunTaskGroup(ctx->thread_pool(), std::move(tasks));
+
+  // Phase 2: one worker per shard inserts that shard's rows in chunk order,
+  // reproducing the serial per-key insertion sequence.
+  shard_tables_.resize(nshards);
+  std::atomic<size_t> next_shard{0};
+  const auto build_shards = [&] {
+    Row key;
+    while (true) {
+      const size_t s = next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (s >= nshards) return;
+      HashTable& shard = shard_tables_[s];
+      size_t rows = 0;
+      for (size_t c = 0; c < num_chunks; ++c) rows += routed[c][s].size();
+      shard.reserve(rows);
+      for (size_t c = 0; c < num_chunks; ++c) {
+        for (uint32_t i : routed[c][s]) {
+          ExtractKey(build_rows_[i], right_keys_, &key);
+          shard.emplace(key, &build_rows_[i]);
+        }
+      }
+    }
+  };
+  tasks.clear();
+  for (size_t w = 0; w < std::min(parallelism_, nshards); ++w) {
+    tasks.push_back(build_shards);
+  }
+  RunTaskGroup(ctx->thread_pool(), std::move(tasks));
+}
+
+const HashJoinOp::HashTable& HashJoinOp::TableFor(const Row& key) const {
+  if (shard_tables_.empty()) return table_;
+  return shard_tables_[RowHash{}(key) % shard_tables_.size()];
+}
 
 Status HashJoinOp::Open(ExecContext* ctx) {
   table_.clear();
+  shard_tables_.clear();
   build_rows_.clear();
   have_left_ = false;
   probe_batch_.Clear();
@@ -66,11 +140,15 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   RETURN_NOT_OK(right_->Close(ctx));
   // Stable addresses now that build_rows_ stopped growing? vector may have
   // reallocated during the loop, so index after the fact.
-  table_.reserve(build_rows_.size());
-  Row key;
-  for (const Row& build_row : build_rows_) {
-    if (!ExtractKey(build_row, right_keys_, &key)) continue;
-    table_.emplace(key, &build_row);
+  if (parallelism_ > 1 && build_rows_.size() >= kParallelBuildMinRows) {
+    BuildParallel(ctx);
+  } else {
+    table_.reserve(build_rows_.size());
+    Row key;
+    for (const Row& build_row : build_rows_) {
+      if (!ExtractKey(build_row, right_keys_, &key)) continue;
+      table_.emplace(key, &build_row);
+    }
   }
   return left_->Open(ctx);
 }
@@ -82,7 +160,7 @@ Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* out) {
       ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
       if (!has) return false;
       if (!ExtractKey(current_left_, left_keys_, &key)) continue;
-      matches_ = table_.equal_range(key);
+      matches_ = TableFor(key).equal_range(key);
       if (matches_.first == matches_.second) continue;
       have_left_ = true;
     }
@@ -117,7 +195,7 @@ Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
     if (!has) return false;
     for (const Row& left_row : probe_batch_.rows()) {
       if (!ExtractKey(left_row, left_keys_, &key)) continue;
-      auto [it, end] = table_.equal_range(key);
+      auto [it, end] = TableFor(key).equal_range(key);
       for (; it != end; ++it) {
         ConcatRows(left_row, *it->second, &joined);
         if (residual_ != nullptr) {
@@ -135,6 +213,7 @@ Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
 
 Status HashJoinOp::Close(ExecContext* ctx) {
   table_.clear();
+  shard_tables_.clear();
   build_rows_.clear();
   return left_->Close(ctx);
 }
@@ -144,6 +223,7 @@ std::string HashJoinOp::DebugName() const {
                     KeyList(left_->output_schema(), left_keys_) +
                     ", r=" + KeyList(right_->output_schema(), right_keys_);
   if (residual_ != nullptr) out += ", residual=" + residual_->ToString();
+  if (parallelism_ > 1) out += ", dop=" + std::to_string(parallelism_);
   out += ")";
   return out;
 }
@@ -201,7 +281,7 @@ Status NestedLoopJoinOp::Close(ExecContext* ctx) {
 PhysOpPtr HashJoinOp::Clone() const {
   return std::make_unique<HashJoinOp>(
       left_->Clone(), right_->Clone(), left_keys_, right_keys_,
-      residual_ == nullptr ? nullptr : residual_->Clone());
+      residual_ == nullptr ? nullptr : residual_->Clone(), parallelism_);
 }
 
 std::string NestedLoopJoinOp::DebugName() const {

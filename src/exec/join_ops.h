@@ -17,10 +17,23 @@ namespace gapply {
 /// `left_keys[i]` must equal `right_keys[i]` for a match (grouping equality,
 /// so NULL keys never match — enforced separately). An optional residual
 /// predicate over the concatenated row filters matches further.
+///
+/// With `parallelism` > 1 and a build side of at least
+/// `kParallelBuildMinRows` rows, the build phase is parallel and
+/// hash-partitioned: build rows are split into chunks, workers route each
+/// chunk's rows to key-hash shards, then one worker per shard inserts its
+/// shard's rows in global chunk order. Because the per-key insertion
+/// sequence equals the serial build's, `equal_range` enumerates matches in
+/// the same order, so probe output stays bit-for-bit identical to DOP 1.
 class HashJoinOp : public PhysOp {
  public:
+  /// Build sides smaller than this are built serially even when a
+  /// parallelism knob is set — sharding overhead dominates below it.
+  static constexpr size_t kParallelBuildMinRows = 4096;
+
   HashJoinOp(PhysOpPtr left, PhysOpPtr right, std::vector<int> left_keys,
-             std::vector<int> right_keys, ExprPtr residual = nullptr);
+             std::vector<int> right_keys, ExprPtr residual = nullptr,
+             size_t parallelism = 1);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
@@ -32,19 +45,32 @@ class HashJoinOp : public PhysOp {
     return {left_.get(), right_.get()};
   }
 
+  size_t parallelism() const { return parallelism_; }
+  /// Lowering demotes the build to serial when this join ends up inside an
+  /// Exchange segment (each worker clone already builds its own table).
+  void set_parallelism(size_t dop) { parallelism_ = dop == 0 ? 1 : dop; }
+
  private:
+  using HashTable = std::unordered_multimap<Row, const Row*, RowHash, RowEq>;
+
+  /// Hash-partitioned parallel build over build_rows_ into shard_tables_.
+  void BuildParallel(ExecContext* ctx);
+  /// The table holding `key`: the single serial table, or the key's shard.
+  const HashTable& TableFor(const Row& key) const;
+
   PhysOpPtr left_;
   PhysOpPtr right_;
   std::vector<int> left_keys_;
   std::vector<int> right_keys_;
   ExprPtr residual_;
+  size_t parallelism_ = 1;
 
-  std::unordered_multimap<Row, const Row*, RowHash, RowEq> table_;
+  HashTable table_;
+  std::vector<HashTable> shard_tables_;  // non-empty iff built in parallel
   std::vector<Row> build_rows_;
   Row current_left_;
   bool have_left_ = false;
-  std::pair<decltype(table_)::const_iterator, decltype(table_)::const_iterator>
-      matches_;
+  std::pair<HashTable::const_iterator, HashTable::const_iterator> matches_;
 
   // Native batch path scratch: one probe-side batch per pull.
   RowBatch probe_batch_;

@@ -6,6 +6,7 @@
 
 #include "src/exec/agg_ops.h"
 #include "src/exec/apply_ops.h"
+#include "src/exec/exchange_op.h"
 #include "src/exec/filter_project_ops.h"
 #include "src/exec/gapply_op.h"
 #include "src/exec/join_ops.h"
@@ -16,7 +17,41 @@ namespace gapply {
 
 namespace {
 
-Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
+/// Demotes every HashJoin on the streaming spine under `op` to a serial
+/// build: inside an Exchange segment each worker clone builds its own hash
+/// table, so a nested parallel build would only add partitioning overhead.
+void DemoteSpineJoinBuilds(PhysOp* op) {
+  if (auto* join = dynamic_cast<HashJoinOp*>(op)) join->set_parallelism(1);
+  if (dynamic_cast<FilterOp*>(op) == nullptr &&
+      dynamic_cast<ProjectOp*>(op) == nullptr &&
+      dynamic_cast<HashJoinOp*>(op) == nullptr) {
+    return;
+  }
+  std::vector<const PhysOp*> kids = op->children();
+  if (!kids.empty()) DemoteSpineJoinBuilds(const_cast<PhysOp*>(kids[0]));
+}
+
+/// Wraps `op` in an Exchange when it is a morsel-drivable streaming segment
+/// over a base table large enough to amortize the fan-out. Called at
+/// pipeline-breaker boundaries (aggregation/sort/distinct inputs, GApply's
+/// outer, the plan root).
+PhysOpPtr MaybeWrapExchange(PhysOpPtr op, const LoweringOptions& opts,
+                            size_t dop) {
+  if (dop <= 1) return op;
+  TableScanOp* scan = FindExchangeMorselSource(op.get());
+  if (scan == nullptr) return op;
+  if (scan->num_rows() < opts.exchange_min_rows) return op;
+  DemoteSpineJoinBuilds(op.get());
+  return std::make_unique<ExchangeOp>(std::move(op), dop,
+                                      opts.exchange_morsel_rows);
+}
+
+/// `exchange_dop` is the morsel-parallelism budget of the current plan
+/// region: the caller's knob at the top, forced to 1 inside subplans that
+/// are re-opened per row or per group (Apply inner, Exists input, GApply
+/// PGQ), where a per-open parallel fan-out would thrash.
+Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
+                        size_t exchange_dop) {
   switch (node.type()) {
     case LogicalOpType::kScan: {
       const auto& scan = static_cast<const LogicalScan&>(node);
@@ -30,13 +65,13 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
     }
     case LogicalOpType::kSelect: {
       const auto& sel = static_cast<const LogicalSelect&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*sel.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*sel.child(0), opts, exchange_dop));
       return PhysOpPtr(std::make_unique<FilterOp>(std::move(child),
                                                   sel.predicate().Clone()));
     }
     case LogicalOpType::kProject: {
       const auto& proj = static_cast<const LogicalProject&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*proj.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*proj.child(0), opts, exchange_dop));
       std::vector<ExprPtr> exprs;
       exprs.reserve(proj.exprs().size());
       for (const ExprPtr& e : proj.exprs()) exprs.push_back(e->Clone());
@@ -45,8 +80,8 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
     }
     case LogicalOpType::kJoin: {
       const auto& join = static_cast<const LogicalJoin&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr left, Lower(*join.child(0), opts));
-      ASSIGN_OR_RETURN(PhysOpPtr right, Lower(*join.child(1), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr left, Lower(*join.child(0), opts, exchange_dop));
+      ASSIGN_OR_RETURN(PhysOpPtr right, Lower(*join.child(1), opts, exchange_dop));
       ExprPtr residual = join.residual() == nullptr
                              ? nullptr
                              : join.residual()->Clone();
@@ -56,11 +91,12 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
       }
       return PhysOpPtr(std::make_unique<HashJoinOp>(
           std::move(left), std::move(right), join.left_keys(),
-          join.right_keys(), std::move(residual)));
+          join.right_keys(), std::move(residual), exchange_dop));
     }
     case LogicalOpType::kGroupBy: {
       const auto& gb = static_cast<const LogicalGroupBy&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*gb.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*gb.child(0), opts, exchange_dop));
+      child = MaybeWrapExchange(std::move(child), opts, exchange_dop);
       if (opts.stream_group_by) {
         std::vector<SortKey> keys;
         keys.reserve(gb.keys().size());
@@ -71,51 +107,56 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
             std::move(sorted), gb.keys(), CloneAggregates(gb.aggs())));
       }
       return PhysOpPtr(std::make_unique<HashGroupByOp>(
-          std::move(child), gb.keys(), CloneAggregates(gb.aggs())));
+          std::move(child), gb.keys(), CloneAggregates(gb.aggs()),
+          exchange_dop));
     }
     case LogicalOpType::kScalarAgg: {
       const auto& agg = static_cast<const LogicalScalarAgg&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*agg.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*agg.child(0), opts, exchange_dop));
+      child = MaybeWrapExchange(std::move(child), opts, exchange_dop);
       return PhysOpPtr(std::make_unique<ScalarAggOp>(std::move(child),
                                                      CloneAggregates(agg.aggs())));
     }
     case LogicalOpType::kDistinct: {
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*node.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*node.child(0), opts, exchange_dop));
+      child = MaybeWrapExchange(std::move(child), opts, exchange_dop);
       return PhysOpPtr(std::make_unique<DistinctOp>(std::move(child)));
     }
     case LogicalOpType::kUnionAll: {
       std::vector<PhysOpPtr> branches;
       branches.reserve(node.num_children());
       for (size_t i = 0; i < node.num_children(); ++i) {
-        ASSIGN_OR_RETURN(PhysOpPtr branch, Lower(*node.child(i), opts));
+        ASSIGN_OR_RETURN(PhysOpPtr branch, Lower(*node.child(i), opts, exchange_dop));
         branches.push_back(std::move(branch));
       }
       return UnionAllOp::Make(std::move(branches));
     }
     case LogicalOpType::kApply: {
       const auto& apply = static_cast<const LogicalApply&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr outer, Lower(*apply.outer(), opts));
-      ASSIGN_OR_RETURN(PhysOpPtr inner, Lower(*apply.inner(), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr outer, Lower(*apply.outer(), opts, exchange_dop));
+      ASSIGN_OR_RETURN(PhysOpPtr inner, Lower(*apply.inner(), opts, 1));
       const bool cache = !ApplyInnerIsCorrelated(*apply.inner());
       return PhysOpPtr(std::make_unique<ApplyOp>(std::move(outer),
                                                  std::move(inner), cache));
     }
     case LogicalOpType::kExists: {
       const auto& exists = static_cast<const LogicalExists&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*exists.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*exists.child(0), opts, 1));
       return PhysOpPtr(
           std::make_unique<ExistsOp>(std::move(child), exists.negated()));
     }
     case LogicalOpType::kOrderBy: {
       const auto& order = static_cast<const LogicalOrderBy&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*order.child(0), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*order.child(0), opts, exchange_dop));
+      child = MaybeWrapExchange(std::move(child), opts, exchange_dop);
       return PhysOpPtr(
           std::make_unique<SortOp>(std::move(child), order.keys()));
     }
     case LogicalOpType::kGApply: {
       const auto& ga = static_cast<const LogicalGApply&>(node);
-      ASSIGN_OR_RETURN(PhysOpPtr outer, Lower(*ga.outer(), opts));
-      ASSIGN_OR_RETURN(PhysOpPtr pgq, Lower(*ga.pgq(), opts));
+      ASSIGN_OR_RETURN(PhysOpPtr outer, Lower(*ga.outer(), opts, exchange_dop));
+      outer = MaybeWrapExchange(std::move(outer), opts, exchange_dop);
+      ASSIGN_OR_RETURN(PhysOpPtr pgq, Lower(*ga.pgq(), opts, 1));
       const PartitionMode mode =
           opts.force_partition_mode.value_or(ga.mode());
       const size_t dop = std::max<size_t>(1, opts.gapply_parallelism);
@@ -131,7 +172,9 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts) {
 
 Result<PhysOpPtr> LowerPlan(const LogicalOp& plan,
                             const LoweringOptions& options) {
-  return Lower(plan, options);
+  const size_t dop = std::max<size_t>(1, options.exchange_parallelism);
+  ASSIGN_OR_RETURN(PhysOpPtr root, Lower(plan, options, dop));
+  return MaybeWrapExchange(std::move(root), options, dop);
 }
 
 }  // namespace gapply

@@ -21,6 +21,22 @@ struct LoweringOptions {
   /// 0 means "engine default" (Database substitutes its session setting,
   /// `SET parallelism = N`); 1 is serial; N > 1 runs groups on N workers.
   size_t gapply_parallelism = 0;
+
+  /// Degree of parallelism for plan-wide morsel-driven execution: Exchange
+  /// operators inserted over streaming scan segments, parallel hash-join
+  /// build, and parallel hash aggregation. 0 means "engine default" (the
+  /// same `SET parallelism = N` session setting); 1 disables all three.
+  size_t exchange_parallelism = 0;
+
+  /// Cardinality gate for Exchange insertion: segments whose base table has
+  /// fewer rows than this stay serial (fan-out overhead dominates on small
+  /// scans). The base-table row count is the one cardinality lowering knows
+  /// exactly, so the gate needs no estimator.
+  size_t exchange_min_rows = 8192;
+
+  /// Rows per morsel for inserted Exchanges
+  /// (ExchangeOp::kDefaultMorselRows).
+  size_t exchange_morsel_rows = 8192;
 };
 
 /// Translates a logical plan into an executable physical plan. The logical

@@ -6,12 +6,14 @@ namespace gapply {
 
 namespace {
 
-// Shared native batch path of the three scans: range-copy `rows[*pos..)`
+// Shared native batch path of the three scans: range-copy `rows[*pos..end)`
 // into `out`, up to its capacity.
-bool ScanIntoBatch(const std::vector<Row>& rows, size_t* pos, RowBatch* out) {
+bool ScanIntoBatch(const std::vector<Row>& rows, size_t* pos, size_t end,
+                   RowBatch* out) {
   out->Clear();
-  if (*pos >= rows.size()) return false;
-  const size_t n = std::min(out->capacity(), rows.size() - *pos);
+  end = std::min(end, rows.size());
+  if (*pos >= end) return false;
+  const size_t n = std::min(out->capacity(), end - *pos);
   for (size_t i = 0; i < n; ++i) {
     out->Add(rows[*pos + i]);
   }
@@ -29,18 +31,24 @@ TableScanOp::TableScanOp(const Table* table, std::string alias)
 
 Status TableScanOp::Open(ExecContext*) {
   pos_ = 0;
+  end_ = morsel_mode_ ? 0 : table_->num_rows();
   return Status::OK();
 }
 
+void TableScanOp::SetMorsel(size_t begin, size_t end) {
+  pos_ = std::min(begin, table_->num_rows());
+  end_ = std::min(end, table_->num_rows());
+}
+
 Result<bool> TableScanOp::Next(ExecContext* ctx, Row* out) {
-  if (pos_ >= table_->num_rows()) return false;
+  if (pos_ >= end_) return false;
   *out = table_->rows()[pos_++];
   ctx->counters().rows_scanned++;
   return true;
 }
 
 Result<bool> TableScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
-  if (!ScanIntoBatch(table_->rows(), &pos_, out)) return false;
+  if (!ScanIntoBatch(table_->rows(), &pos_, end_, out)) return false;
   ctx->counters().rows_scanned += out->size();
   RecordBatch(ctx, out->size());
   return true;
@@ -86,7 +94,7 @@ Result<bool> GroupScanOp::Next(ExecContext* ctx, Row* out) {
 
 Result<bool> GroupScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   if (rows_ == nullptr) return Status::Internal("GroupScan not opened");
-  if (!ScanIntoBatch(*rows_, &pos_, out)) return false;
+  if (!ScanIntoBatch(*rows_, &pos_, rows_->size(), out)) return false;
   ctx->counters().group_rows_scanned += out->size();
   RecordBatch(ctx, out->size());
   return true;
@@ -120,7 +128,7 @@ Result<bool> ValuesOp::Next(ExecContext*, Row* out) {
 }
 
 Result<bool> ValuesOp::NextBatch(ExecContext* ctx, RowBatch* out) {
-  if (!ScanIntoBatch(rows_, &pos_, out)) return false;
+  if (!ScanIntoBatch(rows_, &pos_, rows_.size(), out)) return false;
   RecordBatch(ctx, out->size());
   return true;
 }

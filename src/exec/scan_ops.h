@@ -9,7 +9,14 @@
 
 namespace gapply {
 
-/// Full scan over a base table. The table must outlive the operator.
+/// \brief Full scan over a base table. The table must outlive the operator.
+///
+/// Morsel mode (used by ExchangeOp): after `EnableMorselMode`, Open starts
+/// with an *empty* row range, and the scan emits only rows of the range set
+/// by the most recent `SetMorsel`. End-of-stream then means "current morsel
+/// drained", and the driver may re-arm the scan with another SetMorsel and
+/// pull the pipeline above it again without re-opening it — the pipeline
+/// contract relaxation the exchange/morsel design relies on (DESIGN.md §9).
 class TableScanOp : public PhysOp {
  public:
   explicit TableScanOp(const Table* table, std::string alias = "");
@@ -21,10 +28,23 @@ class TableScanOp : public PhysOp {
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
 
+  const Table* table() const { return table_; }
+  size_t num_rows() const { return table_->num_rows(); }
+
+  void EnableMorselMode() { morsel_mode_ = true; }
+  bool morsel_mode() const { return morsel_mode_; }
+
+  /// Restricts the scan to rows [begin, end) of the table (clamped to the
+  /// table size) and rewinds its cursor to `begin`. Only legal in morsel
+  /// mode, between Open and Close.
+  void SetMorsel(size_t begin, size_t end);
+
  private:
   const Table* table_;
   std::string alias_;
   size_t pos_ = 0;
+  size_t end_ = 0;
+  bool morsel_mode_ = false;
 };
 
 /// \brief Scan over the relation-valued variable bound by an enclosing

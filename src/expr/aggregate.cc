@@ -20,6 +20,10 @@ class CountStarAccumulator : public AggAccumulator {
     return Status::OK();
   }
   Value Finish() const override { return Value::Int(count_); }
+  Status Merge(const AggAccumulator& other) override {
+    count_ += static_cast<const CountStarAccumulator&>(other).count_;
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -32,6 +36,10 @@ class CountAccumulator : public AggAccumulator {
     return Status::OK();
   }
   Value Finish() const override { return Value::Int(count_); }
+  Status Merge(const AggAccumulator& other) override {
+    count_ += static_cast<const CountAccumulator&>(other).count_;
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -53,6 +61,14 @@ class SumAccumulator : public AggAccumulator {
   Value Finish() const override {
     if (!seen_) return Value::Null();
     return all_ints_ ? Value::Int(int_sum_) : Value::Double(sum_);
+  }
+  Status Merge(const AggAccumulator& other) override {
+    const auto& o = static_cast<const SumAccumulator&>(other);
+    sum_ += o.sum_;
+    int_sum_ += o.int_sum_;
+    all_ints_ = all_ints_ && o.all_ints_;
+    seen_ = seen_ || o.seen_;
+    return Status::OK();
   }
 
  private:
@@ -98,6 +114,9 @@ class MinMaxAccumulator : public AggAccumulator {
     return Status::OK();
   }
   Value Finish() const override { return best_; }
+  Status Merge(const AggAccumulator& other) override {
+    return Add(static_cast<const MinMaxAccumulator&>(other).best_);
+  }
 
  private:
   bool is_min_;
@@ -122,6 +141,30 @@ class DistinctAccumulator : public AggAccumulator {
 };
 
 }  // namespace
+
+Status AggAccumulator::Merge(const AggAccumulator&) {
+  return Status::Internal(
+      "accumulator kind does not support exact partial-aggregate merge");
+}
+
+bool AggregateMergeIsExact(const std::vector<AggregateDesc>& aggs) {
+  for (const AggregateDesc& a : aggs) {
+    if (a.distinct) return false;
+    switch (a.kind) {
+      case AggKind::kCountStar:
+      case AggKind::kCount:
+      case AggKind::kMin:
+      case AggKind::kMax:
+        break;
+      case AggKind::kSum:
+        if (a.arg == nullptr || a.arg->type() != TypeId::kInt64) return false;
+        break;
+      case AggKind::kAvg:
+        return false;
+    }
+  }
+  return true;
+}
 
 const char* AggKindName(AggKind kind) {
   switch (kind) {

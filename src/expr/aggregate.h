@@ -56,7 +56,22 @@ class AggAccumulator {
   virtual ~AggAccumulator() = default;
   virtual Status Add(const Value& v) = 0;
   virtual Value Finish() const = 0;
+
+  /// Folds `other` (an accumulator of the same dynamic type, fed a disjoint
+  /// row partition) into this one. Only the kinds for which the merge is
+  /// *exact* — bit-for-bit equal to feeding all rows into one accumulator in
+  /// any order — implement it: count(*), count, min, max, and sum over
+  /// integer inputs. The default errors; callers gate parallel partial
+  /// aggregation on `AggregateMergeIsExact` so it is never reached.
+  virtual Status Merge(const AggAccumulator& other);
 };
+
+/// True iff every descriptor can be computed by merging per-partition
+/// partial accumulators with results bit-for-bit identical to a single
+/// serial pass: no DISTINCT (partitions may share values), no AVG and no
+/// SUM over doubles (floating-point addition is not associative, so
+/// re-associating partial sums changes low bits).
+bool AggregateMergeIsExact(const std::vector<AggregateDesc>& aggs);
 
 /// Creates an accumulator; `distinct` wraps it so duplicate inputs (grouping
 /// equality) are counted once.

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -89,6 +90,76 @@ TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
 
 TEST(ThreadPoolTest, DefaultParallelismIsAtLeastOne) {
   EXPECT_GE(ThreadPool::DefaultParallelism(), 1u);
+}
+
+TEST(ThreadPoolTest, RunGroupRunsEveryTaskWithCallerHelp) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.RunGroup(std::move(tasks));  // returns only once all 100 ran
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, RunGroupEmptyAndSingleton) {
+  ThreadPool pool(2);
+  pool.RunGroup({});  // must not hang
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> one;
+  one.push_back([&counter] { counter.fetch_add(1); });
+  pool.RunGroup(std::move(one));
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, RunGroupOnSaturatedPoolStillCompletes) {
+  // Every pool thread is parked; the caller must drain its group alone.
+  ThreadPool pool(2);
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 10; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.RunGroup(std::move(tasks));
+  EXPECT_EQ(counter.load(), 10);
+  release.store(true);
+  pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, NestedRunGroupOnSamePoolDoesNotDeadlock) {
+  // Mirrors Exchange nested under parallel GApply on the shared engine
+  // pool: a group task starts its own group on the same pool.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &counter] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&counter] { counter.fetch_add(1); });
+      }
+      pool.RunGroup(std::move(inner));
+    });
+  }
+  pool.RunGroup(std::move(outer));
+  EXPECT_EQ(counter.load(), 32);
+}
+
+TEST(ThreadPoolTest, RunTaskGroupFallsBackToTransientPool) {
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 12; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  RunTaskGroup(/*pool=*/nullptr, std::move(tasks));
+  EXPECT_EQ(counter.load(), 12);
 }
 
 TEST(ThreadPoolTest, NestedPoolsDoNotDeadlock) {

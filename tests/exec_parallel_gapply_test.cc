@@ -409,6 +409,9 @@ TEST(CountersTest, MergeFromSumsEveryField) {
   a.rows_hash_partitioned = 6;
   a.gapply_partition_ns = 7;
   a.gapply_pgq_ns = 8;
+  a.exchange_partition_ns = 9;
+  a.exchange_merge_ns = 10;
+  a.exchange_rows = 11;
   ExecContext::Counters b = a;
   b.rows_scanned = 10;
   a.MergeFrom(b);
@@ -420,15 +423,20 @@ TEST(CountersTest, MergeFromSumsEveryField) {
   EXPECT_EQ(a.rows_hash_partitioned, 12u);
   EXPECT_EQ(a.gapply_partition_ns, 14u);
   EXPECT_EQ(a.gapply_pgq_ns, 16u);
+  EXPECT_EQ(a.exchange_partition_ns, 18u);
+  EXPECT_EQ(a.exchange_merge_ns, 20u);
+  EXPECT_EQ(a.exchange_rows, 22u);
 }
 
 TEST(CountersTest, ResetZeroesEveryField) {
   ExecContext::Counters a;
   a.rows_scanned = 1;
   a.gapply_pgq_ns = 9;
+  a.exchange_rows = 4;
   a.Reset();
   EXPECT_EQ(a.rows_scanned, 0u);
   EXPECT_EQ(a.gapply_pgq_ns, 0u);
+  EXPECT_EQ(a.exchange_rows, 0u);
 }
 
 TEST(ParallelGApplyTest, PhaseCountersAttributePartitionAndExecution) {
