@@ -61,14 +61,6 @@ struct JsonRecord {
 std::vector<JsonRecord> g_records;
 bool g_criterion_met = true;
 
-bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!RowsEqual(a[i], b[i])) return false;
-  }
-  return true;
-}
-
 // A plan plus the Exchange inside it (for effective-DOP reporting).
 struct Plan {
   PhysOpPtr root;

@@ -56,14 +56,6 @@ struct JsonRecord {
 
 std::vector<JsonRecord> g_records;
 
-bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!RowsEqual(a[i], b[i])) return false;
-  }
-  return true;
-}
-
 // Times `make()` (a freshly configured plan per rep), returning the best of
 // `reps` timed runs plus the last run's rows and counters.
 template <typename MakeFn>

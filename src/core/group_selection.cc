@@ -109,15 +109,18 @@ Result<bool> RewriteIsCheaper(const LogicalOp& original,
 // on the (usually tiny) set of qualifying group ids and streams T past it —
 // the cheap direction the paper's two-phase plan implies.
 //
-// NOTE: groups whose grouping columns contain NULL cannot be reconstructed
-// by an equi-join (NULL never matches); the rules assume key-like grouping
-// columns, as the paper does.
+// The join must be null-safe (IS NOT DISTINCT FROM): GApply partitions like
+// GROUP BY, where NULL grouping keys compare equal and form a real group. A
+// plain SQL equi-join silently drops every NULL-keyed group — a bug the
+// differential fuzzer caught (gapply_fuzz --seed=6555: a NULL-keyed group
+// vanished from the rewritten side under rule:GroupSelectionExists).
 LogicalOpPtr ReconstructGroups(LogicalOpPtr keys, LogicalOpPtr t,
                                const std::vector<int>& gcols) {
   std::vector<int> rk;
   for (size_t i = 0; i < gcols.size(); ++i) rk.push_back(static_cast<int>(i));
   return std::make_unique<LogicalJoin>(std::move(t), std::move(keys), gcols,
-                                       rk);
+                                       rk, /*residual=*/nullptr,
+                                       /*null_safe=*/true);
 }
 
 // Matches the optional outer wrapper the SQL binder puts around the whole
@@ -147,6 +150,11 @@ const LogicalOp* StripRestoreProject(const LogicalOp* pgq, int group_width,
 Result<bool> GroupSelectionExistsRule::Apply(LogicalOpPtr* node,
                                              OptimizerContext* ctx) {
   if ((*node)->type() != LogicalOpType::kGApply) return false;
+  // The rewrite introduces a Join; the paper's PGQ operator set has none,
+  // so firing on a GApply nested inside another GApply's per-group query
+  // produces an unlowerable plan (found by the differential fuzzer,
+  // gapply_fuzz --seed=7631).
+  if (ctx->in_pgq) return false;
   auto* gapply = static_cast<LogicalGApply*>(node->get());
   const int group_width = static_cast<int>(
       gapply->outer()->output_schema().num_columns());
@@ -218,6 +226,8 @@ Result<bool> GroupSelectionExistsRule::Apply(LogicalOpPtr* node,
 Result<bool> GroupSelectionAggregateRule::Apply(LogicalOpPtr* node,
                                                 OptimizerContext* ctx) {
   if ((*node)->type() != LogicalOpType::kGApply) return false;
+  // Same PGQ guard as GroupSelectionExistsRule: no Join inside a PGQ.
+  if (ctx->in_pgq) return false;
   auto* gapply = static_cast<LogicalGApply*>(node->get());
   const int group_width = static_cast<int>(
       gapply->outer()->output_schema().num_columns());

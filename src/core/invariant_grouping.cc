@@ -145,7 +145,7 @@ Result<bool> InvariantGroupingRule::Apply(LogicalOpPtr* node,
   }
   auto new_join = std::make_unique<LogicalJoin>(
       std::move(new_gapply), join->TakeChild(1), std::move(new_left_keys),
-      join->right_keys());
+      join->right_keys(), nullptr, join->null_safe());
 
   // Restore the original output schema: grouping columns, then the PGQ
   // outputs — surviving ones from the GApply side, dropped pass-throughs

@@ -133,7 +133,7 @@ Result<bool> ProjectionBeforeGApplyRule::Apply(LogicalOpPtr* node,
 }
 
 Result<bool> SelectionBeforeGApplyRule::Apply(LogicalOpPtr* node,
-                                              OptimizerContext*) {
+                                              OptimizerContext* ctx) {
   if ((*node)->type() != LogicalOpType::kGApply) return false;
   auto* gapply = static_cast<LogicalGApply*>(node->get());
 
@@ -142,8 +142,12 @@ Result<bool> SelectionBeforeGApplyRule::Apply(LogicalOpPtr* node,
   ASSIGN_OR_RETURN(PgqInfo info,
                    AnalyzePgq(*gapply->pgq(), gapply->var(), width));
 
-  // Theorem 1 precondition: PGQ(φ) = φ.
-  if (!info.empty_on_empty) return false;
+  // Theorem 1 precondition: PGQ(φ) = φ. The unsafe escape hatch exists so
+  // the fuzzer can inject this known-unsound rewrite and prove its oracles
+  // catch it (OptimizerContext::unsafe_skip_rule_preconditions).
+  const bool skip_preconditions =
+      ctx != nullptr && ctx->unsafe_skip_rule_preconditions;
+  if (!info.empty_on_empty && !skip_preconditions) return false;
   // TRUE range: nothing to push.
   if (info.covering_range == nullptr) return false;
 

@@ -17,14 +17,18 @@ void ConcatRows(const Row& left, const Row& right, Row* out) {
   out->insert(out->end(), right.begin(), right.end());
 }
 
-// Extracts the key columns from a row; returns false if any key is NULL
-// (SQL equi-join: NULL never matches).
-bool ExtractKey(const Row& row, const std::vector<int>& cols, Row* key) {
+// Extracts the key columns from a row. Under SQL equi-join semantics
+// (null_safe = false) returns false if any key is NULL — NULL never
+// matches. Under IS NOT DISTINCT FROM semantics (null_safe = true) NULL
+// keys are kept; Value::Hash/Equals already treat NULL == NULL as equal,
+// so the hash table matches them without further work.
+bool ExtractKey(const Row& row, const std::vector<int>& cols, bool null_safe,
+                Row* key) {
   key->clear();
   key->reserve(cols.size());
   for (int c : cols) {
     const Value& v = row[static_cast<size_t>(c)];
-    if (v.is_null()) return false;
+    if (v.is_null() && !null_safe) return false;
     key->push_back(v);
   }
   return true;
@@ -44,14 +48,15 @@ std::string KeyList(const Schema& schema, const std::vector<int>& cols) {
 
 HashJoinOp::HashJoinOp(PhysOpPtr left, PhysOpPtr right,
                        std::vector<int> left_keys, std::vector<int> right_keys,
-                       ExprPtr residual, size_t parallelism)
+                       ExprPtr residual, size_t parallelism, bool null_safe)
     : PhysOp(Schema::Concat(left->output_schema(), right->output_schema())),
       left_(std::move(left)),
       right_(std::move(right)),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
       residual_(std::move(residual)),
-      parallelism_(std::max<size_t>(1, parallelism)) {}
+      parallelism_(std::max<size_t>(1, parallelism)),
+      null_safe_(null_safe) {}
 
 void HashJoinOp::BuildParallel(ExecContext* ctx) {
   // Phase 1: workers claim fixed-size chunks of the build rows and route
@@ -74,7 +79,9 @@ void HashJoinOp::BuildParallel(ExecContext* ctx) {
       const size_t begin = c * kChunkRows;
       const size_t end = std::min(n, begin + kChunkRows);
       for (size_t i = begin; i < end; ++i) {
-        if (!ExtractKey(build_rows_[i], right_keys_, &key)) continue;
+        if (!ExtractKey(build_rows_[i], right_keys_, null_safe_, &key)) {
+          continue;
+        }
         routed[c][RowHash{}(key) % nshards].push_back(
             static_cast<uint32_t>(i));
       }
@@ -102,7 +109,7 @@ void HashJoinOp::BuildParallel(ExecContext* ctx) {
       shard.reserve(rows);
       for (size_t c = 0; c < num_chunks; ++c) {
         for (uint32_t i : routed[c][s]) {
-          ExtractKey(build_rows_[i], right_keys_, &key);
+          ExtractKey(build_rows_[i], right_keys_, null_safe_, &key);
           shard.emplace(key, &build_rows_[i]);
         }
       }
@@ -146,7 +153,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
     table_.reserve(build_rows_.size());
     Row key;
     for (const Row& build_row : build_rows_) {
-      if (!ExtractKey(build_row, right_keys_, &key)) continue;
+      if (!ExtractKey(build_row, right_keys_, null_safe_, &key)) continue;
       table_.emplace(key, &build_row);
     }
   }
@@ -159,7 +166,7 @@ Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* out) {
     if (!have_left_) {
       ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
       if (!has) return false;
-      if (!ExtractKey(current_left_, left_keys_, &key)) continue;
+      if (!ExtractKey(current_left_, left_keys_, null_safe_, &key)) continue;
       matches_ = TableFor(key).equal_range(key);
       if (matches_.first == matches_.second) continue;
       have_left_ = true;
@@ -194,7 +201,7 @@ Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
     ASSIGN_OR_RETURN(bool has, left_->NextBatch(ctx, &probe_batch_));
     if (!has) return false;
     for (const Row& left_row : probe_batch_.rows()) {
-      if (!ExtractKey(left_row, left_keys_, &key)) continue;
+      if (!ExtractKey(left_row, left_keys_, null_safe_, &key)) continue;
       auto [it, end] = TableFor(key).equal_range(key);
       for (; it != end; ++it) {
         ConcatRows(left_row, *it->second, &joined);
@@ -224,6 +231,7 @@ std::string HashJoinOp::DebugName() const {
                     ", r=" + KeyList(right_->output_schema(), right_keys_);
   if (residual_ != nullptr) out += ", residual=" + residual_->ToString();
   if (parallelism_ > 1) out += ", dop=" + std::to_string(parallelism_);
+  if (null_safe_) out += ", null-safe";
   out += ")";
   return out;
 }
@@ -281,7 +289,8 @@ Status NestedLoopJoinOp::Close(ExecContext* ctx) {
 PhysOpPtr HashJoinOp::Clone() const {
   return std::make_unique<HashJoinOp>(
       left_->Clone(), right_->Clone(), left_keys_, right_keys_,
-      residual_ == nullptr ? nullptr : residual_->Clone(), parallelism_);
+      residual_ == nullptr ? nullptr : residual_->Clone(), parallelism_,
+      null_safe_);
 }
 
 std::string NestedLoopJoinOp::DebugName() const {

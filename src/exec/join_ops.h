@@ -14,9 +14,13 @@ namespace gapply {
 /// left — matching the paper's left-deep trees where the right child of
 /// every internal node is a base-table leaf.
 ///
-/// `left_keys[i]` must equal `right_keys[i]` for a match (grouping equality,
-/// so NULL keys never match — enforced separately). An optional residual
-/// predicate over the concatenated row filters matches further.
+/// `left_keys[i]` must equal `right_keys[i]` for a match. By default this is
+/// SQL equi-join equality: a NULL key never matches, so NULL-keyed rows are
+/// dropped on both sides. With `null_safe` set the comparison is
+/// IS NOT DISTINCT FROM — NULL matches NULL — which is what the
+/// group-selection rewrites need to reconstruct GROUP-BY-style groups whose
+/// keys may be NULL. An optional residual predicate over the concatenated
+/// row filters matches further.
 ///
 /// With `parallelism` > 1 and a build side of at least
 /// `kParallelBuildMinRows` rows, the build phase is parallel and
@@ -33,7 +37,7 @@ class HashJoinOp : public PhysOp {
 
   HashJoinOp(PhysOpPtr left, PhysOpPtr right, std::vector<int> left_keys,
              std::vector<int> right_keys, ExprPtr residual = nullptr,
-             size_t parallelism = 1);
+             size_t parallelism = 1, bool null_safe = false);
 
   Status Open(ExecContext* ctx) override;
   Result<bool> Next(ExecContext* ctx, Row* out) override;
@@ -64,6 +68,7 @@ class HashJoinOp : public PhysOp {
   std::vector<int> right_keys_;
   ExprPtr residual_;
   size_t parallelism_ = 1;
+  bool null_safe_ = false;
 
   HashTable table_;
   std::vector<HashTable> shard_tables_;  // non-empty iff built in parallel

@@ -91,7 +91,8 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
       }
       return PhysOpPtr(std::make_unique<HashJoinOp>(
           std::move(left), std::move(right), join.left_keys(),
-          join.right_keys(), std::move(residual), exchange_dop));
+          join.right_keys(), std::move(residual), exchange_dop,
+          join.null_safe()));
     }
     case LogicalOpType::kGroupBy: {
       const auto& gb = static_cast<const LogicalGroupBy&>(node);

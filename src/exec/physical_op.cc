@@ -1,5 +1,7 @@
 #include "src/exec/physical_op.h"
 
+#include <algorithm>
+#include <string>
 #include <unordered_map>
 
 #include "src/common/string_util.h"
@@ -99,6 +101,60 @@ bool SameRowMultiset(const std::vector<Row>& a, const std::vector<Row>& b) {
     --it->second;
   }
   return true;
+}
+
+bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!RowsEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+int TypeRank(TypeId type) {
+  switch (type) {
+    case TypeId::kNull:
+      return 0;
+    case TypeId::kBool:
+      return 1;
+    case TypeId::kInt64:
+    case TypeId::kDouble:
+      return 2;  // numerics share a rank so 2 and 2.0 sort adjacently
+    case TypeId::kString:
+      return 3;
+  }
+  return 4;
+}
+
+// Total order over arbitrary values: NULL first, then by type family, then
+// by value (Value::Compare within a family). Any deterministic total order
+// works here; it only has to agree with grouping equality.
+bool ValueCanonicalLess(const Value& a, const Value& b) {
+  const int ra = TypeRank(a.type());
+  const int rb = TypeRank(b.type());
+  if (ra != rb) return ra < rb;
+  if (a.is_null()) return false;  // both NULL
+  if (a.type() == TypeId::kBool && b.type() == TypeId::kBool) {
+    return !a.bool_val() && b.bool_val();
+  }
+  Result<int> cmp = Value::Compare(a, b);
+  if (!cmp.ok()) return false;
+  return *cmp < 0;
+}
+
+}  // namespace
+
+void SortRowsCanonical(std::vector<Row>* rows) {
+  std::sort(rows->begin(), rows->end(), [](const Row& a, const Row& b) {
+    const size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (ValueCanonicalLess(a[i], b[i])) return true;
+      if (ValueCanonicalLess(b[i], a[i])) return false;
+    }
+    return a.size() < b.size();
+  });
 }
 
 }  // namespace gapply

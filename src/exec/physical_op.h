@@ -121,6 +121,17 @@ Result<QueryResult> ExecuteToVectorRows(PhysOp* root, ExecContext* ctx);
 /// multiset semantics, never order, unless an OrderBy/Sort is at the root.
 bool SameRowMultiset(const std::vector<Row>& a, const std::vector<Row>& b);
 
+/// True iff the two row collections are identical element by element —
+/// same length, same order, grouping equality per value. This is the
+/// bit-for-bit bar the engine's determinism guarantees are held to
+/// (e.g. DOP N output must equal DOP 1 output exactly).
+bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b);
+
+/// Sorts rows into a canonical total order (by type rank, then value;
+/// NULL first) so two equal multisets align row-for-row. Differential
+/// harnesses use this to render the first divergent rows of a mismatch.
+void SortRowsCanonical(std::vector<Row>* rows);
+
 }  // namespace gapply
 
 #endif  // GAPPLY_EXEC_PHYSICAL_OP_H_

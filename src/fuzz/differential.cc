@@ -1,0 +1,244 @@
+#include "src/fuzz/differential.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "src/exec/exec_context.h"
+#include "src/exec/gapply_op.h"
+
+namespace gapply::fuzz {
+
+namespace {
+
+/// Renders the first divergence between two row collections. For multiset
+/// mode both sides are canonically sorted first so equal multisets align.
+std::string DescribeDivergence(std::vector<Row> a, std::vector<Row> b,
+                               CompareMode mode) {
+  std::string out = "baseline " + std::to_string(a.size()) +
+                    " rows, candidate " + std::to_string(b.size()) + " rows";
+  if (mode == CompareMode::kMultiset) {
+    SortRowsCanonical(&a);
+    SortRowsCanonical(&b);
+    out += " (canonically sorted)";
+  }
+  const size_t n = std::max(a.size(), b.size());
+  size_t shown = 0;
+  for (size_t i = 0; i < n && shown < 3; ++i) {
+    const bool have_a = i < a.size();
+    const bool have_b = i < b.size();
+    if (have_a && have_b && RowsEqual(a[i], b[i])) continue;
+    out += "\n  row " + std::to_string(i) + ": baseline=" +
+           (have_a ? RowToString(a[i]) : "<missing>") + " candidate=" +
+           (have_b ? RowToString(b[i]) : "<missing>");
+    ++shown;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ExecSpec::Key() const {
+  std::string key = optimize ? "opt:" : "raw:";
+  if (optimize) {
+    for (const auto& toggle : Optimizer::Options::RuleToggles()) {
+      key += opt.*(toggle.flag) ? '1' : '0';
+    }
+    key += opt.cost_gate ? 'g' : 'u';
+    key += opt.unsafe_skip_rule_preconditions ? '!' : '.';
+  }
+  key += ";pm=";
+  key += !lowering.force_partition_mode.has_value() ? "d"
+         : *lowering.force_partition_mode == PartitionMode::kSort ? "s"
+                                                                  : "h";
+  key += lowering.stream_group_by ? ";sg" : "";
+  key += ";dop=" + std::to_string(lowering.gapply_parallelism) + "," +
+         std::to_string(lowering.exchange_parallelism);
+  key += ";xmin=" + std::to_string(lowering.exchange_min_rows);
+  key += ";morsel=" + std::to_string(lowering.exchange_morsel_rows);
+  key += ";b=" + std::to_string(batch_size);
+  key += row_path ? ";rows" : ";vec";
+  return key;
+}
+
+std::vector<OraclePair> BuildOracleMatrix(const OracleMatrixOptions& options) {
+  ExecSpec base;
+  base.name = "baseline";
+
+  auto with_rule = [&](const char* name, bool Optimizer::Options::* flag) {
+    ExecSpec s = base;
+    s.name = std::string("rule:") + name;
+    s.optimize = true;
+    s.opt = Optimizer::Options::AllDisabled();
+    s.opt.*flag = true;
+    s.opt.cost_gate = false;  // exercise the rewrite even when costed out
+    return s;
+  };
+
+  std::vector<OraclePair> oracles;
+  for (const auto& toggle : Optimizer::Options::RuleToggles()) {
+    oracles.push_back({"rule:" + std::string(toggle.name), base,
+                       with_rule(toggle.name, toggle.flag),
+                       CompareMode::kMultiset});
+  }
+
+  ExecSpec full = base;
+  full.name = "optimizer:full";
+  full.optimize = true;
+  oracles.push_back({"optimizer:full", base, full, CompareMode::kMultiset});
+
+  ExecSpec ungated = full;
+  ungated.name = "optimizer:full-ungated";
+  ungated.opt.cost_gate = false;
+  oracles.push_back(
+      {"optimizer:full-ungated", base, ungated, CompareMode::kMultiset});
+
+  if (options.inject_precondition_bug) {
+    ExecSpec injected =
+        with_rule("SelectionBeforeGApply",
+                  &Optimizer::Options::selection_before_gapply);
+    injected.name += "[injected]";
+    injected.opt.unsafe_skip_rule_preconditions = true;
+    oracles.push_back({"rule:SelectionBeforeGApply[injected]", base, injected,
+                       CompareMode::kMultiset});
+  }
+
+  ExecSpec rows = base;
+  rows.name = "exec:row-path";
+  rows.row_path = true;
+  oracles.push_back({"exec:batch-vs-row", base, rows, CompareMode::kMultiset});
+
+  ExecSpec full_rows = full;
+  full_rows.name = "optimizer:full,row-path";
+  full_rows.row_path = true;
+  oracles.push_back({"exec:batch-vs-row-optimized", full, full_rows,
+                     CompareMode::kMultiset});
+
+  for (size_t b : {size_t{1}, size_t{3}}) {
+    ExecSpec s = base;
+    s.name = "exec:batch=" + std::to_string(b);
+    s.batch_size = b;
+    oracles.push_back({s.name, base, s, CompareMode::kMultiset});
+  }
+
+  // DOP sweep: the engine promises bit-for-bit identity with the serial
+  // run at any DOP, so this one is a sequence comparison.
+  auto parallel_spec = [](size_t dop, size_t batch) {
+    ExecSpec s;
+    s.name = "exec:dop=" + std::to_string(dop) +
+             ",batch=" + std::to_string(batch);
+    s.batch_size = batch;
+    s.lowering.gapply_parallelism = dop;
+    s.lowering.exchange_parallelism = dop;
+    // Tiny gates so even the fuzzer's small tables actually fan out.
+    s.lowering.exchange_min_rows = 16;
+    s.lowering.exchange_morsel_rows = 64;
+    return s;
+  };
+  for (size_t b : options.batch_sizes) {
+    for (size_t dop : options.dops) {
+      oracles.push_back({"exec:dop=" + std::to_string(dop) +
+                             ",batch=" + std::to_string(b),
+                         parallel_spec(1, b), parallel_spec(dop, b),
+                         CompareMode::kSequence});
+    }
+  }
+
+  for (PartitionMode mode : {PartitionMode::kSort, PartitionMode::kHash}) {
+    ExecSpec s = base;
+    s.name = std::string("exec:partition=") + PartitionModeName(mode);
+    s.lowering.force_partition_mode = mode;
+    oracles.push_back({s.name, base, s, CompareMode::kMultiset});
+  }
+
+  ExecSpec stream = base;
+  stream.name = "exec:stream-groupby";
+  stream.lowering.stream_group_by = true;
+  oracles.push_back(
+      {"exec:hash-vs-stream-groupby", base, stream, CompareMode::kMultiset});
+
+  return oracles;
+}
+
+Result<QueryResult> RunSpec(const LogicalOp& plan, const Catalog& catalog,
+                            const StatsManager& stats, const ExecSpec& spec) {
+  LogicalOpPtr working = plan.Clone();
+  if (spec.optimize) {
+    Optimizer optimizer(&catalog, &stats, spec.opt);
+    ASSIGN_OR_RETURN(working, optimizer.Optimize(std::move(working)));
+  }
+  ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, spec.lowering));
+  // No shared thread pool: parallel operators fall back to transient
+  // pools, which keeps specs fully independent of each other.
+  ExecContext ctx;
+  ctx.set_batch_size(spec.batch_size);
+  return spec.row_path ? ExecuteToVectorRows(phys.get(), &ctx)
+                       : ExecuteToVector(phys.get(), &ctx);
+}
+
+Result<std::vector<Mismatch>> RunOracles(
+    const LogicalOp& plan, const Catalog& catalog, const StatsManager& stats,
+    const std::vector<OraclePair>& oracles) {
+  // Dedup cache: specs with the same key execute once. A node-based map,
+  // NOT a vector — callers hold references across later insertions.
+  std::map<std::string, Result<QueryResult>> cache;
+  auto run = [&](const ExecSpec& spec) -> const Result<QueryResult>& {
+    const std::string key = spec.Key();
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+      it = cache.emplace(key, RunSpec(plan, catalog, stats, spec)).first;
+    }
+    return it->second;
+  };
+
+  std::vector<Mismatch> mismatches;
+  for (const OraclePair& oracle : oracles) {
+    const Result<QueryResult>& base = run(oracle.baseline);
+    const Result<QueryResult>& cand = run(oracle.candidate);
+    if (!base.ok() || !cand.ok()) {
+      if (!base.ok() && !cand.ok() &&
+          base.status().ToString() == cand.status().ToString()) {
+        continue;  // both sides agree the query errors identically
+      }
+      mismatches.push_back(
+          {oracle.name,
+           "baseline(" + oracle.baseline.name + "): " +
+               (base.ok() ? std::to_string(base->rows.size()) + " rows"
+                          : base.status().ToString()) +
+               "; candidate(" + oracle.candidate.name + "): " +
+               (cand.ok() ? std::to_string(cand->rows.size()) + " rows"
+                          : cand.status().ToString())});
+      continue;
+    }
+    const bool same = oracle.mode == CompareMode::kSequence
+                          ? SameRowSequence(base->rows, cand->rows)
+                          : SameRowMultiset(base->rows, cand->rows);
+    if (!same) {
+      mismatches.push_back(
+          {oracle.name, "baseline(" + oracle.baseline.name + ") vs candidate(" +
+                            oracle.candidate.name + "): " +
+                            DescribeDivergence(base->rows, cand->rows,
+                                               oracle.mode)});
+    }
+  }
+  return mismatches;
+}
+
+int CountPlanOps(const LogicalOp& plan) {
+  if (plan.type() == LogicalOpType::kScan ||
+      plan.type() == LogicalOpType::kGroupScan) {
+    return 0;
+  }
+  int count = 1;
+  for (size_t i = 0; i < plan.num_children(); ++i) {
+    count += CountPlanOps(*plan.child(i));
+  }
+  if (plan.type() == LogicalOpType::kGApply) {
+    count += CountPlanOps(
+        *static_cast<const LogicalGApply&>(plan).pgq());
+  }
+  return count;
+}
+
+}  // namespace gapply::fuzz

@@ -1,0 +1,329 @@
+#include "src/fuzz/minimizer.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/sql/binder.h"
+#include "src/sql/parser.h"
+#include "src/sql/printer.h"
+
+namespace gapply::fuzz {
+
+namespace {
+
+using sql::Query;
+using sql::SelectStmt;
+using sql::SqlExpr;
+using sql::SqlExprKind;
+using sql::SqlExprPtr;
+
+SqlExprPtr LitExpr(Value v) {
+  auto e = std::make_unique<SqlExpr>();
+  e->kind = SqlExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+/// Walks a query enumerating (or applying) structural shrink edits. Sites
+/// are numbered globally in visitation order; `target < 0` only counts.
+/// Exactly one edit is applied per walk, after which the walk unwinds.
+class EditWalker {
+ public:
+  explicit EditWalker(int target) : target_(target) {}
+
+  int count() const { return count_; }
+  bool applied() const { return applied_; }
+
+  void WalkQuery(Query* q, SelectStmt* owner) {
+    // Drop one UNION ALL branch (keeping at least one).
+    if (q->branches.size() > 1) {
+      for (size_t i = 0; i < q->branches.size(); ++i) {
+        if (At()) {
+          q->branches.erase(q->branches.begin() + static_cast<long>(i));
+          return;
+        }
+      }
+    }
+    if (!q->order_by.empty() && At()) {
+      q->order_by.clear();
+      return;
+    }
+    // Drop one output column from every branch in lockstep (union
+    // compatibility), fixing the owning gapply's rename list.
+    const size_t arity = q->branches.front()->items.size();
+    bool droppable = arity > 1;
+    for (const auto& b : q->branches) {
+      droppable = droppable && !b->select_star && b->gapply_pgq == nullptr &&
+                  b->items.size() == arity;
+    }
+    if (droppable) {
+      for (size_t col = 0; col < arity; ++col) {
+        if (At()) {
+          for (auto& b : q->branches) {
+            b->items.erase(b->items.begin() + static_cast<long>(col));
+          }
+          if (owner != nullptr && owner->gapply_names.size() == arity) {
+            owner->gapply_names.erase(owner->gapply_names.begin() +
+                                      static_cast<long>(col));
+          }
+          return;
+        }
+      }
+    }
+    for (auto& b : q->branches) {
+      WalkSelect(b.get());
+      if (applied_) return;
+    }
+  }
+
+ private:
+  /// True iff this visitation is the targeted site.
+  bool At() {
+    if (count_++ == target_) {
+      applied_ = true;
+      return true;
+    }
+    return false;
+  }
+
+  void WalkSelect(SelectStmt* s) {
+    if (s->where != nullptr) {
+      if (At()) {
+        s->where = nullptr;
+        return;
+      }
+      if (s->where->kind == SqlExprKind::kBinary &&
+          s->where->binary_op == BinaryOp::kAnd) {
+        if (At()) {
+          s->where = std::move(s->where->left);
+          return;
+        }
+        if (At()) {
+          s->where = std::move(s->where->right);
+          return;
+        }
+      }
+      WalkExpr(&s->where);
+      if (applied_) return;
+    }
+    if (s->having != nullptr && At()) {
+      s->having = nullptr;
+      return;
+    }
+    if (s->group_by.size() > 1) {
+      for (size_t i = 0; i < s->group_by.size(); ++i) {
+        if (At()) {
+          s->group_by.erase(s->group_by.begin() + static_cast<long>(i));
+          return;
+        }
+      }
+    }
+    // Drop the joined table (candidates that still reference its columns
+    // simply fail to bind and are rejected). The join predicate usually
+    // has to go with it, so clear WHERE too.
+    if (s->from.size() > 1 && At()) {
+      s->from.pop_back();
+      s->where = nullptr;
+      return;
+    }
+    if (!s->gapply_names.empty() && At()) {
+      s->gapply_names.clear();
+      return;
+    }
+    if (s->gapply_pgq != nullptr) {
+      WalkQuery(s->gapply_pgq.get(), s);
+      if (applied_) return;
+    }
+  }
+
+  /// Replaces subqueries with literals and descends into them.
+  void WalkExpr(SqlExprPtr* e) {
+    if (*e == nullptr || applied_) return;
+    switch ((*e)->kind) {
+      case SqlExprKind::kScalarSubquery:
+        if (At()) {
+          *e = LitExpr(Value::Int(1));
+          return;
+        }
+        WalkQuery((*e)->subquery.get(), nullptr);
+        return;
+      case SqlExprKind::kExists:
+        if (At()) {
+          *e = LitExpr(Value::Bool(true));
+          return;
+        }
+        WalkQuery((*e)->subquery.get(), nullptr);
+        return;
+      case SqlExprKind::kUnary:
+        WalkExpr(&(*e)->left);
+        return;
+      case SqlExprKind::kBinary:
+        WalkExpr(&(*e)->left);
+        if (!applied_) WalkExpr(&(*e)->right);
+        return;
+      case SqlExprKind::kFuncCall:
+        for (auto& arg : (*e)->args) {
+          WalkExpr(&arg);
+          if (applied_) return;
+        }
+        return;
+      default:
+        return;
+    }
+  }
+
+  int target_;
+  int count_ = 0;
+  bool applied_ = false;
+};
+
+int CountEditSites(const std::string& sql) {
+  Result<sql::QueryPtr> q = sql::Parse(sql);
+  if (!q.ok()) return 0;
+  EditWalker walker(-1);
+  walker.WalkQuery(q->get(), nullptr);
+  return walker.count();
+}
+
+/// Applies edit site `i`; returns the edited SQL or "" if unapplied.
+std::string ApplyEdit(const std::string& sql, int i) {
+  Result<sql::QueryPtr> q = sql::Parse(sql);
+  if (!q.ok()) return "";
+  EditWalker walker(i);
+  walker.WalkQuery(q->get(), nullptr);
+  if (!walker.applied()) return "";
+  return sql::ToSql(**q);
+}
+
+}  // namespace
+
+Result<MinimizeResult> MinimizeCase(const FuzzDataset& data,
+                                    const std::string& sql,
+                                    const OraclePair& failing,
+                                    int max_evaluations) {
+  MinimizeResult best;
+  best.sql = sql;
+  best.data = data;
+
+  // Evaluates a candidate: still-binding AND still-mismatching.
+  auto still_fails = [&](const std::string& cand_sql,
+                         const FuzzDataset& cand_data,
+                         Mismatch* out) -> bool {
+    ++best.evaluations;
+    Catalog catalog;
+    StatsManager stats;
+    if (!InstallDataset(cand_data, &catalog, &stats).ok()) return false;
+    Result<LogicalOpPtr> plan = sql::ParseAndBind(catalog, cand_sql);
+    if (!plan.ok()) return false;
+    Result<std::vector<Mismatch>> mm =
+        RunOracles(**plan, catalog, stats, {failing});
+    if (!mm.ok() || mm->empty()) return false;
+    if (out != nullptr) *out = mm->front();
+    return true;
+  };
+
+  if (!still_fails(best.sql, best.data, &best.mismatch)) {
+    return Status::InvalidArgument(
+        "MinimizeCase: input does not reproduce the mismatch");
+  }
+
+  bool progressed = true;
+  while (progressed && best.evaluations < max_evaluations) {
+    progressed = false;
+
+    // Phase 1: structural AST shrinking, first accepted edit wins.
+    bool ast_progress = true;
+    while (ast_progress && best.evaluations < max_evaluations) {
+      ast_progress = false;
+      const int sites = CountEditSites(best.sql);
+      for (int i = 0; i < sites && best.evaluations < max_evaluations; ++i) {
+        const std::string cand = ApplyEdit(best.sql, i);
+        if (cand.empty() || cand == best.sql) continue;
+        Mismatch mismatch;
+        if (still_fails(cand, best.data, &mismatch)) {
+          best.sql = cand;
+          best.mismatch = mismatch;
+          ast_progress = true;
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    // Phase 2: data shrinking — halve tables, then pluck single rows.
+    // (Tables are addressed by role, not pointer: accepting a candidate
+    // replaces best.data wholesale.)
+    auto get_table = [](FuzzDataset* ds, bool is_fact) -> FuzzTable* {
+      return is_fact ? &ds->fact : &*ds->dim;
+    };
+    auto shrink_table = [&](bool is_fact) {
+      bool any = false;
+      bool halved = true;
+      while (halved && get_table(&best.data, is_fact)->rows.size() > 1 &&
+             best.evaluations < max_evaluations) {
+        halved = false;
+        for (const bool front : {false, true}) {
+          FuzzDataset cand = best.data;
+          FuzzTable* t = get_table(&cand, is_fact);
+          const size_t half = t->rows.size() / 2;
+          if (half == 0) break;
+          if (front) {
+            t->rows.erase(t->rows.begin(),
+                          t->rows.begin() + static_cast<long>(half));
+          } else {
+            t->rows.resize(t->rows.size() - half);
+          }
+          Mismatch mismatch;
+          if (still_fails(best.sql, cand, &mismatch)) {
+            best.data = std::move(cand);
+            best.mismatch = mismatch;
+            halved = true;
+            any = true;
+            break;
+          }
+        }
+      }
+      // Single-row plucking once the table is small.
+      if (get_table(&best.data, is_fact)->rows.size() <= 12) {
+        for (size_t i = 0;
+             i < get_table(&best.data, is_fact)->rows.size() &&
+             best.evaluations < max_evaluations;) {
+          FuzzDataset cand = best.data;
+          FuzzTable* t = get_table(&cand, is_fact);
+          t->rows.erase(t->rows.begin() + static_cast<long>(i));
+          Mismatch mismatch;
+          if (still_fails(best.sql, cand, &mismatch)) {
+            best.data = std::move(cand);
+            best.mismatch = mismatch;
+            any = true;
+          } else {
+            ++i;
+          }
+        }
+      }
+      return any;
+    };
+
+    // Note: dim rows are NOT shrunk below what the fact's FK references —
+    // shrinking that breaks FK consistency simply stops reproducing or
+    // fails Append, and gets rejected like any other candidate.
+    if (shrink_table(/*is_fact=*/true)) progressed = true;
+    if (best.data.dim.has_value() && shrink_table(/*is_fact=*/false)) {
+      progressed = true;
+    }
+  }
+
+  // Final size metric over the minimized bound plan.
+  {
+    Catalog catalog;
+    StatsManager stats;
+    RETURN_NOT_OK(InstallDataset(best.data, &catalog, &stats));
+    ASSIGN_OR_RETURN(LogicalOpPtr plan,
+                     sql::ParseAndBind(catalog, best.sql));
+    best.plan_ops = CountPlanOps(*plan);
+  }
+  return best;
+}
+
+}  // namespace gapply::fuzz

@@ -1,0 +1,39 @@
+#ifndef GAPPLY_FUZZ_MINIMIZER_H_
+#define GAPPLY_FUZZ_MINIMIZER_H_
+
+#include <string>
+
+#include "src/fuzz/data_gen.h"
+#include "src/fuzz/differential.h"
+
+namespace gapply::fuzz {
+
+/// Outcome of shrinking a failing case: the smallest SQL + dataset found
+/// that still trips the failing oracle.
+struct MinimizeResult {
+  std::string sql;
+  FuzzDataset data;
+  /// Non-leaf logical operators in the minimized bound plan
+  /// (CountPlanOps) — the headline size metric.
+  int plan_ops = 0;
+  /// Total candidate evaluations spent.
+  int evaluations = 0;
+  /// The surviving mismatch on the minimized case.
+  Mismatch mismatch;
+};
+
+/// Delta-debugging-style greedy minimization. Alternates structural AST
+/// edits (drop a union branch, clear WHERE/HAVING/ORDER BY, keep one side
+/// of a conjunction, drop select-list columns / grouping columns / the
+/// joined table, replace subqueries with literals) with data shrinking
+/// (halve tables, then drop single rows). Every candidate is re-printed,
+/// re-parsed, re-bound, and re-run against only the failing oracle — a
+/// candidate that no longer binds or no longer mismatches is rejected.
+Result<MinimizeResult> MinimizeCase(const FuzzDataset& data,
+                                    const std::string& sql,
+                                    const OraclePair& failing,
+                                    int max_evaluations = 600);
+
+}  // namespace gapply::fuzz
+
+#endif  // GAPPLY_FUZZ_MINIMIZER_H_

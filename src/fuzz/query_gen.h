@@ -1,0 +1,45 @@
+#ifndef GAPPLY_FUZZ_QUERY_GEN_H_
+#define GAPPLY_FUZZ_QUERY_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/fuzz/data_gen.h"
+#include "src/sql/ast.h"
+
+namespace gapply::fuzz {
+
+/// One randomly generated query: the AST, its printed SQL (the replayable
+/// artifact — the fuzzer re-parses and binds this text, so the SQL is the
+/// single source of truth), and feature tags for coverage accounting.
+struct GeneratedQuery {
+  sql::QueryPtr ast;
+  std::string sql;
+  std::vector<std::string> features;
+};
+
+/// Draws a random GApply-centric query against the dataset's schema.
+///
+/// Generator invariants (the binder's contract, see DESIGN.md §11):
+///  - grouping and ORDER BY expressions are bare column references;
+///  - column names are globally unique, so references never need
+///    qualifiers and never bind ambiguously (gapply output renames are
+///    forced whenever a PGQ star would re-expose an outer grouping name);
+///  - EXISTS appears only as a top-level WHERE conjunct; scalar subqueries
+///    only in non-aggregated WHERE clauses;
+///  - comparisons are type-matched (numeric↔numeric, string↔string) and
+///    expressions avoid divide/modulo, so evaluation is total — rewrites
+///    may legitimately reorder error surfacing, which would drown the
+///    oracles in false mismatches;
+///  - joins are always the declared fact.fk = dim.pk foreign-key equi-join
+///    (data is FK-consistent), keeping InvariantGrouping sound;
+///  - sum/avg arguments are numeric; HAVING only under aggregation.
+///
+/// A query that fails to bind anyway is a generator bug; the fuzzer
+/// treats it as fatal for the case and reports the seed.
+GeneratedQuery GenerateQuery(const FuzzDataset& dataset, Rng* rng);
+
+}  // namespace gapply::fuzz
+
+#endif  // GAPPLY_FUZZ_QUERY_GEN_H_

@@ -70,7 +70,8 @@ Result<bool> PushSelectBelowJoinRule::Apply(LogicalOpPtr* node,
   }
   *node = std::make_unique<LogicalJoin>(
       std::move(left), std::move(right), j->left_keys(), j->right_keys(),
-      j->residual() == nullptr ? nullptr : j->residual()->Clone());
+      j->residual() == nullptr ? nullptr : j->residual()->Clone(),
+      j->null_safe());
   return true;
 }
 

@@ -19,6 +19,22 @@ Optimizer::Options Optimizer::Options::AllDisabled() {
   return o;
 }
 
+const std::vector<Optimizer::Options::Toggle>&
+Optimizer::Options::RuleToggles() {
+  static const std::vector<Toggle> kToggles = {
+      {"ClassicPushdown", &Options::classic_pushdown},
+      {"PushSelectIntoPGQ", &Options::push_select_into_pgq},
+      {"PushProjectIntoPGQ", &Options::push_project_into_pgq},
+      {"SelectionBeforeGApply", &Options::selection_before_gapply},
+      {"ProjectionBeforeGApply", &Options::projection_before_gapply},
+      {"GApplyToGroupBy", &Options::gapply_to_groupby},
+      {"InvariantGrouping", &Options::invariant_grouping},
+      {"GroupSelectionExists", &Options::group_selection_exists},
+      {"GroupSelectionAggregate", &Options::group_selection_aggregate},
+  };
+  return kToggles;
+}
+
 Optimizer::Optimizer(const Catalog* catalog, const StatsManager* stats,
                      Options options)
     : options_(options), cost_model_(catalog, stats) {
@@ -26,6 +42,7 @@ Optimizer::Optimizer(const Catalog* catalog, const StatsManager* stats,
   ctx_.stats = stats;
   ctx_.cost_model = &cost_model_;
   ctx_.cost_gate = options.cost_gate;
+  ctx_.unsafe_skip_rule_preconditions = options.unsafe_skip_rule_preconditions;
 
   // Rule order: cheap always-win rewrites first (σ/π motion), then the
   // structural GApply rewrites, then the cost-gated group-selection pair.
@@ -93,8 +110,16 @@ Result<bool> Optimizer::Pass(LogicalOpPtr* node) {
   if (op->type() == LogicalOpType::kGApply) {
     auto* ga = static_cast<LogicalGApply*>(op);
     LogicalOpPtr pgq = ga->TakePgq();
-    ASSIGN_OR_RETURN(bool pgq_changed, Pass(&pgq));
-    changed = changed || pgq_changed;
+    // Everything below this point is a per-group query; rules that would
+    // introduce operators outside the PGQ set (see OptimizerContext::in_pgq)
+    // check the flag and stand down. Saved/restored rather than set/cleared
+    // because GApply nests.
+    const bool saved_in_pgq = ctx_.in_pgq;
+    ctx_.in_pgq = true;
+    Result<bool> pgq_changed = Pass(&pgq);
+    ctx_.in_pgq = saved_in_pgq;
+    RETURN_NOT_OK(pgq_changed.status());
+    changed = changed || *pgq_changed;
     ga->SetPgq(std::move(pgq));
   }
   return changed;

@@ -21,6 +21,18 @@ struct OptimizerContext {
   /// only if the cost model says the rewrite is cheaper. When false they
   /// fire unconditionally (benches use this to measure both sides).
   bool cost_gate = true;
+  /// True while the driver is rewriting a per-group query (the subtree a
+  /// GApply holds). The paper's PGQ operator set has no Join, so rules
+  /// whose rewrite introduces one (the §4.2 group-selection pair) must not
+  /// fire there — the plan would fail to lower. Maintained by
+  /// Optimizer::Pass; rules only read it.
+  bool in_pgq = false;
+  /// TESTING ONLY. When true, rules skip their static-analysis safety
+  /// preconditions (currently SelectionBeforeGApply's empty-on-empty check
+  /// from Theorem 1) and fire anyway. The fuzzer injects this deliberate
+  /// bug (`gapply_fuzz --inject-precondition-bug`) to prove its oracles
+  /// catch an unsound rewrite and minimize it. Never set in production.
+  bool unsafe_skip_rule_preconditions = false;
 };
 
 /// \brief A transformation rule over logical plans.
@@ -61,8 +73,26 @@ class Optimizer {
 
     int max_passes = 8;
 
+    /// See OptimizerContext::unsafe_skip_rule_preconditions. TESTING ONLY.
+    bool unsafe_skip_rule_preconditions = false;
+
     /// All rules off (benches build baselines from this).
     static Options AllDisabled();
+
+    /// One independently toggleable rule set: display name + the Options
+    /// member that enables it. ClassicPushdown covers the three classic
+    /// rewrites behind the single `classic_pushdown` flag; every other
+    /// entry is one paper rule.
+    struct Toggle {
+      const char* name;
+      bool Options::* flag;
+    };
+
+    /// Every toggle, in registration order. Drives the fuzzer's
+    /// per-rule differential oracles and the pairwise composition tests:
+    /// `AllDisabled()` plus exactly one toggle yields an optimizer that
+    /// applies that rule set alone.
+    static const std::vector<Toggle>& RuleToggles();
   };
 
   Optimizer(const Catalog* catalog, const StatsManager* stats,

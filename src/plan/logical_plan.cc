@@ -212,13 +212,15 @@ std::string LogicalProject::DebugName() const {
 
 LogicalJoin::LogicalJoin(LogicalOpPtr left, LogicalOpPtr right,
                          std::vector<int> left_keys,
-                         std::vector<int> right_keys, ExprPtr residual)
+                         std::vector<int> right_keys, ExprPtr residual,
+                         bool null_safe)
     : LogicalOp(
           LogicalOpType::kJoin,
           Schema::Concat(left->output_schema(), right->output_schema())),
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
-      residual_(std::move(residual)) {
+      residual_(std::move(residual)),
+      null_safe_(null_safe) {
   children_.push_back(std::move(left));
   children_.push_back(std::move(right));
 }
@@ -226,7 +228,7 @@ LogicalJoin::LogicalJoin(LogicalOpPtr left, LogicalOpPtr right,
 LogicalOpPtr LogicalJoin::Clone() const {
   return std::make_unique<LogicalJoin>(
       child(0)->Clone(), child(1)->Clone(), left_keys_, right_keys_,
-      residual_ == nullptr ? nullptr : residual_->Clone());
+      residual_ == nullptr ? nullptr : residual_->Clone(), null_safe_);
 }
 
 std::string LogicalJoin::DebugName() const {
@@ -234,6 +236,7 @@ std::string LogicalJoin::DebugName() const {
       "Join(l=" + ColumnList(child(0)->output_schema(), left_keys_) +
       ", r=" + ColumnList(child(1)->output_schema(), right_keys_);
   if (residual_ != nullptr) out += ", residual=" + residual_->ToString();
+  if (null_safe_) out += ", null-safe";
   out += ")";
   return out;
 }

@@ -155,11 +155,16 @@ class LogicalJoin : public LogicalOp {
  public:
   LogicalJoin(LogicalOpPtr left, LogicalOpPtr right,
               std::vector<int> left_keys, std::vector<int> right_keys,
-              ExprPtr residual = nullptr);
+              ExprPtr residual = nullptr, bool null_safe = false);
 
   const std::vector<int>& left_keys() const { return left_keys_; }
   const std::vector<int>& right_keys() const { return right_keys_; }
   const Expr* residual() const { return residual_.get(); }
+  /// When true the key comparison is IS NOT DISTINCT FROM: NULL matches
+  /// NULL. The group-selection rewrites need this — GApply partitions like
+  /// GROUP BY, where NULL grouping keys form a real group, so
+  /// reconstructing groups with a plain SQL equi-join would drop them.
+  bool null_safe() const { return null_safe_; }
 
   LogicalOpPtr Clone() const override;
   std::string DebugName() const override;
@@ -168,6 +173,7 @@ class LogicalJoin : public LogicalOp {
   std::vector<int> left_keys_;
   std::vector<int> right_keys_;
   ExprPtr residual_;
+  bool null_safe_ = false;
 };
 
 /// GROUP BY with aggregates (key columns are input-column indexes).

@@ -1,0 +1,243 @@
+#include "src/sql/printer.h"
+
+#include <charconv>
+#include <string>
+
+namespace gapply::sql {
+
+namespace {
+
+std::string PrintLiteral(const Value& v) {
+  switch (v.type()) {
+    case TypeId::kNull:
+      return "null";
+    case TypeId::kBool:
+      return v.bool_val() ? "true" : "false";
+    case TypeId::kInt64:
+      return std::to_string(v.int_val());
+    case TypeId::kDouble: {
+      // Shortest representation that round-trips through strtod. If it
+      // looks like an integer ("5", "-3") force a trailing ".0" so the
+      // lexer still sees a float token.
+      char buf[64];
+      auto [end, ec] =
+          std::to_chars(buf, buf + sizeof(buf), v.double_val());
+      std::string s(buf, end);
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case TypeId::kString: {
+      std::string out = "'";
+      for (char c : v.str_val()) {
+        if (c == '\'') out += "''";  // SQL quote escaping
+        out += c;
+      }
+      out += "'";
+      return out;
+    }
+  }
+  return "null";
+}
+
+const char* BinaryOpToken(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSubtract:
+      return "-";
+    case BinaryOp::kMultiply:
+      return "*";
+    case BinaryOp::kDivide:
+      return "/";
+    case BinaryOp::kModulo:
+      return "%";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+void PrintExpr(const SqlExpr& e, std::string* out);
+void PrintQuery(const Query& q, std::string* out);
+
+void PrintExpr(const SqlExpr& e, std::string* out) {
+  switch (e.kind) {
+    case SqlExprKind::kLiteral:
+      *out += PrintLiteral(e.literal);
+      return;
+    case SqlExprKind::kColumnRef:
+      if (!e.qualifier.empty()) {
+        *out += e.qualifier;
+        *out += '.';
+      }
+      *out += e.name;
+      return;
+    case SqlExprKind::kUnary:
+      switch (e.unary_op) {
+        case UnaryOp::kNot:
+          *out += "(not ";
+          PrintExpr(*e.left, out);
+          *out += ')';
+          return;
+        case UnaryOp::kNegate:
+          *out += "(- ";
+          PrintExpr(*e.left, out);
+          *out += ')';
+          return;
+        case UnaryOp::kIsNull:
+          *out += '(';
+          PrintExpr(*e.left, out);
+          *out += " is null)";
+          return;
+        case UnaryOp::kIsNotNull:
+          *out += '(';
+          PrintExpr(*e.left, out);
+          *out += " is not null)";
+          return;
+      }
+      return;
+    case SqlExprKind::kBinary:
+      *out += '(';
+      PrintExpr(*e.left, out);
+      *out += ' ';
+      *out += BinaryOpToken(e.binary_op);
+      *out += ' ';
+      PrintExpr(*e.right, out);
+      *out += ')';
+      return;
+    case SqlExprKind::kFuncCall:
+      *out += e.func;
+      *out += '(';
+      if (e.star_arg) {
+        *out += '*';
+      } else {
+        if (e.distinct_arg) *out += "distinct ";
+        for (size_t i = 0; i < e.args.size(); ++i) {
+          if (i > 0) *out += ", ";
+          PrintExpr(*e.args[i], out);
+        }
+      }
+      *out += ')';
+      return;
+    case SqlExprKind::kScalarSubquery:
+      *out += '(';
+      PrintQuery(*e.subquery, out);
+      *out += ')';
+      return;
+    case SqlExprKind::kExists:
+      if (e.negated) *out += "not ";
+      *out += "exists (";
+      PrintQuery(*e.subquery, out);
+      *out += ')';
+      return;
+  }
+}
+
+void PrintSelect(const SelectStmt& s, std::string* out) {
+  *out += "select ";
+  if (s.gapply_pgq != nullptr) {
+    *out += "gapply(";
+    PrintQuery(*s.gapply_pgq, out);
+    *out += ')';
+    if (!s.gapply_names.empty()) {
+      *out += " as (";
+      for (size_t i = 0; i < s.gapply_names.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += s.gapply_names[i];
+      }
+      *out += ')';
+    }
+  } else if (s.select_star) {
+    *out += '*';
+  } else {
+    for (size_t i = 0; i < s.items.size(); ++i) {
+      if (i > 0) *out += ", ";
+      PrintExpr(*s.items[i].expr, out);
+      if (!s.items[i].alias.empty()) {
+        *out += " as ";
+        *out += s.items[i].alias;
+      }
+    }
+  }
+  *out += " from ";
+  for (size_t i = 0; i < s.from.size(); ++i) {
+    if (i > 0) *out += ", ";
+    *out += s.from[i].table;
+    if (!s.from[i].alias.empty() && s.from[i].alias != s.from[i].table) {
+      *out += " as ";
+      *out += s.from[i].alias;
+    }
+  }
+  if (s.where != nullptr) {
+    *out += " where ";
+    PrintExpr(*s.where, out);
+  }
+  if (!s.group_by.empty()) {
+    *out += " group by ";
+    for (size_t i = 0; i < s.group_by.size(); ++i) {
+      if (i > 0) *out += ", ";
+      PrintExpr(*s.group_by[i], out);
+    }
+    if (!s.group_var.empty()) {
+      *out += " : ";
+      *out += s.group_var;
+    }
+  }
+  if (s.having != nullptr) {
+    *out += " having ";
+    PrintExpr(*s.having, out);
+  }
+}
+
+void PrintQuery(const Query& q, std::string* out) {
+  for (size_t i = 0; i < q.branches.size(); ++i) {
+    if (i > 0) *out += " union all ";
+    PrintSelect(*q.branches[i], out);
+  }
+  for (size_t i = 0; i < q.order_by.size(); ++i) {
+    *out += i == 0 ? " order by " : ", ";
+    PrintExpr(*q.order_by[i].expr, out);
+    if (!q.order_by[i].ascending) *out += " desc";
+  }
+}
+
+}  // namespace
+
+std::string ToSql(const Query& query) {
+  std::string out;
+  PrintQuery(query, &out);
+  return out;
+}
+
+std::string ToSql(const SelectStmt& stmt) {
+  std::string out;
+  PrintSelect(stmt, &out);
+  return out;
+}
+
+std::string ToSql(const SqlExpr& expr) {
+  std::string out;
+  PrintExpr(expr, &out);
+  return out;
+}
+
+}  // namespace gapply::sql

@@ -1,0 +1,26 @@
+#ifndef GAPPLY_SQL_PRINTER_H_
+#define GAPPLY_SQL_PRINTER_H_
+
+#include <string>
+
+#include "src/sql/ast.h"
+
+namespace gapply::sql {
+
+/// Renders an AST (parsed or synthesized) back to SQL text that round-trips
+/// through the front end: `Parse(ToSql(q))` yields a semantically identical
+/// query. Expressions are aggressively parenthesized so precedence never has
+/// to be reconstructed, string literals escape embedded quotes, and double
+/// literals are printed with shortest-round-trip precision.
+///
+/// The fuzzer (src/fuzz/) leans on this: every generated case is an AST that
+/// is printed, re-parsed, and bound, so each random plan also exercises the
+/// lexer→parser→binder pipeline, and the printed text IS the replayable
+/// repro.
+std::string ToSql(const Query& query);
+std::string ToSql(const SelectStmt& stmt);
+std::string ToSql(const SqlExpr& expr);
+
+}  // namespace gapply::sql
+
+#endif  // GAPPLY_SQL_PRINTER_H_

@@ -21,6 +21,7 @@
 #include "src/exec/scan_ops.h"
 #include "src/expr/aggregate.h"
 #include "src/expr/expr.h"
+#include "tests/differential_util.h"
 #include "tests/test_util.h"
 
 namespace gapply {
@@ -29,16 +30,7 @@ namespace {
 using tutil::GroupedSchema;
 using tutil::MakeTable;
 using tutil::RandomGroupedRows;
-
-constexpr size_t kBatchSizes[] = {1, 3, 1024};
-
-bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!RowsEqual(a[i], b[i])) return false;
-  }
-  return true;
-}
+using tutil::kDiffBatchSizes;
 
 std::vector<Row> RunRowPath(PhysOp* root) {
   ExecContext ctx;
@@ -66,17 +58,14 @@ void ExpectBatchMatchesRows(const PlanBuilder& build,
                             bool ordered = false) {
   PhysOpPtr row_plan = build();
   const std::vector<Row> expected = RunRowPath(row_plan.get());
-  for (size_t bs : kBatchSizes) {
+  for (size_t bs : kDiffBatchSizes) {
     PhysOpPtr batch_plan = build();
     const std::vector<Row> got = RunBatchPath(batch_plan.get(), bs);
+    const std::string label = "batch_size=" + std::to_string(bs);
     if (ordered) {
-      EXPECT_TRUE(SameRowSequence(got, expected))
-          << "batch_size=" << bs << ": sequence mismatch (got " << got.size()
-          << " rows, expected " << expected.size() << ")";
+      tutil::ExpectSameSequence(got, expected, label);
     } else {
-      EXPECT_TRUE(SameRowMultiset(got, expected))
-          << "batch_size=" << bs << ": multiset mismatch (got " << got.size()
-          << " rows, expected " << expected.size() << ")";
+      tutil::ExpectSameMultiset(got, expected, label);
     }
   }
 }
@@ -288,19 +277,18 @@ TEST_P(GApplyBatchTest, BatchMatchesRowsForAllPgqShapes) {
     };
     PhysOpPtr row_plan = build();
     const std::vector<Row> expected = RunRowPath(row_plan.get());
-    for (size_t bs : kBatchSizes) {
+    for (size_t bs : kDiffBatchSizes) {
       PhysOpPtr batch_plan = build();
       const std::vector<Row> got = RunBatchPath(batch_plan.get(), bs);
+      const std::string label = std::string(PartitionModeName(mode)) +
+                                " dop=" + std::to_string(dop) +
+                                " batch_size=" + std::to_string(bs);
       if (dop > 1) {
         // The parallel path promises bit-for-bit serial-identical output,
         // and the batch drive must not disturb that.
-        EXPECT_TRUE(SameRowSequence(got, expected))
-            << PartitionModeName(mode) << " dop=" << dop
-            << " batch_size=" << bs << ": sequence mismatch";
+        tutil::ExpectSameSequence(got, expected, label);
       } else {
-        EXPECT_TRUE(SameRowMultiset(got, expected))
-            << PartitionModeName(mode) << " dop=" << dop
-            << " batch_size=" << bs << ": multiset mismatch";
+        tutil::ExpectSameMultiset(got, expected, label);
       }
     }
   }

@@ -14,6 +14,7 @@
 #include "src/exec/scan_ops.h"
 #include "src/expr/aggregate.h"
 #include "src/expr/expr.h"
+#include "tests/differential_util.h"
 #include "tests/test_util.h"
 
 namespace gapply {
@@ -23,15 +24,9 @@ using tutil::GroupedSchema;
 using tutil::MakeTable;
 using tutil::RandomGroupedRows;
 
-// The parallel paths promise bit-for-bit the same output as serial: ordered,
-// element-wise row equality, not just the same multiset.
-bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!RowsEqual(a[i], b[i])) return false;
-  }
-  return true;
-}
+// The parallel paths promise bit-for-bit the same output as serial:
+// tutil::ExpectSameSequence (ordered, element-wise row equality), not just
+// the same multiset.
 
 Result<QueryResult> RunWithBatch(PhysOp* root, size_t batch_size) {
   ExecContext ctx;
@@ -100,14 +95,14 @@ TEST_F(ExchangeDeterminismTest, BitForBitIdenticalAcrossDopAndBatch) {
     PhysOpPtr serial = spine(big_.get(), dim_.get());
     ASSIGN_OR_FAIL(QueryResult expected, RunWithBatch(serial.get(), 1024));
     ASSERT_FALSE(expected.rows.empty());
-    for (size_t dop : {1u, 2u, 8u}) {
-      for (size_t batch : {1u, 1024u}) {
-        ExchangeOp ex(spine(big_.get(), dim_.get()), dop,
-                      /*morsel_rows=*/64);
-        ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(&ex, batch));
-        EXPECT_TRUE(SameRowSequence(got.rows, expected.rows))
-            << "spine=" << name << " dop=" << dop << " batch=" << batch;
-      }
+    for (const auto& [dop, batch] : tutil::DopBatchMatrix()) {
+      ExchangeOp ex(spine(big_.get(), dim_.get()), dop,
+                    /*morsel_rows=*/64);
+      ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(&ex, batch));
+      tutil::ExpectSameSequence(
+          got.rows, expected.rows,
+          std::string("spine=") + name + " dop=" + std::to_string(dop) +
+              " batch=" + std::to_string(batch));
     }
   }
 }
@@ -120,7 +115,7 @@ TEST_F(ExchangeDeterminismTest, SingleMorselDegeneratesToPassthrough) {
   ExchangeOp ex(ScanSpine(big_.get(), dim_.get()), /*parallelism=*/8,
                 /*morsel_rows=*/100000);
   ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(&ex, 1024));
-  EXPECT_TRUE(SameRowSequence(got.rows, expected.rows));
+  tutil::ExpectSameSequence(got.rows, expected.rows, "single-morsel");
   EXPECT_EQ(ex.effective_dop(), 1u);
 }
 
@@ -231,13 +226,12 @@ TEST(ParallelJoinBuildTest, BitForBitIdenticalAcrossDop) {
   auto serial = make_join(1);
   ASSIGN_OR_FAIL(QueryResult expected, RunWithBatch(serial.get(), 1024));
   ASSERT_FALSE(expected.rows.empty());
-  for (size_t dop : {2u, 8u}) {
-    for (size_t batch : {1u, 1024u}) {
-      auto par = make_join(dop);
-      ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), batch));
-      EXPECT_TRUE(SameRowSequence(got.rows, expected.rows))
-          << "dop=" << dop << " batch=" << batch;
-    }
+  for (const auto& [dop, batch] : tutil::DopBatchMatrix(false)) {
+    auto par = make_join(dop);
+    ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), batch));
+    tutil::ExpectSameSequence(got.rows, expected.rows,
+                              "dop=" + std::to_string(dop) +
+                                  " batch=" + std::to_string(batch));
   }
 }
 
@@ -255,7 +249,7 @@ TEST(ParallelJoinBuildTest, SmallBuildSideStaysSerial) {
   HashJoinOp ser(std::move(probe2), std::move(build2), {0}, {0});
   ASSIGN_OR_FAIL(QueryResult expected, RunWithBatch(&ser, 1024));
   ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(&join, 1024));
-  EXPECT_TRUE(SameRowSequence(got.rows, expected.rows));
+  tutil::ExpectSameSequence(got.rows, expected.rows, "small-build-side");
 }
 
 TEST(ParallelJoinBuildTest, DebugNameShowsDop) {
@@ -295,13 +289,12 @@ TEST(ParallelHashAggTest, ExactAggsBitForBitIdenticalAcrossDop) {
   auto serial = make_agg(1);
   ASSIGN_OR_FAIL(QueryResult expected, RunWithBatch(serial.get(), 1024));
   ASSERT_EQ(expected.rows.size(), 61u);
-  for (size_t dop : {2u, 8u}) {
-    for (size_t batch : {1u, 1024u}) {
-      auto par = make_agg(dop);
-      ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), batch));
-      EXPECT_TRUE(SameRowSequence(got.rows, expected.rows))
-          << "dop=" << dop << " batch=" << batch;
-    }
+  for (const auto& [dop, batch] : tutil::DopBatchMatrix(false)) {
+    auto par = make_agg(dop);
+    ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), batch));
+    tutil::ExpectSameSequence(got.rows, expected.rows,
+                              "dop=" + std::to_string(dop) +
+                                  " batch=" + std::to_string(batch));
   }
 }
 
@@ -325,7 +318,7 @@ TEST(ParallelHashAggTest, InexactAggsFallBackToSerialAndMatch) {
   ASSIGN_OR_FAIL(QueryResult expected, RunWithBatch(serial.get(), 1024));
   auto par = make_agg(8);
   ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), 1024));
-  EXPECT_TRUE(SameRowSequence(got.rows, expected.rows));
+  tutil::ExpectSameSequence(got.rows, expected.rows, "inexact-aggs");
 }
 
 TEST(ParallelHashAggTest, SmallInputStaysSerial) {
@@ -344,7 +337,7 @@ TEST(ParallelHashAggTest, SmallInputStaysSerial) {
   auto par = make_agg(8);
   ASSIGN_OR_FAIL(QueryResult expected, RunWithBatch(serial.get(), 1024));
   ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), 1024));
-  EXPECT_TRUE(SameRowSequence(got.rows, expected.rows));
+  tutil::ExpectSameSequence(got.rows, expected.rows, "small-input");
 }
 
 // ---------------------------------------------------------------------------
@@ -384,8 +377,9 @@ TEST(ExchangeNestingTest, ExchangeFeedingParallelGApply) {
     for (size_t ga_dop : {2u, 4u}) {
       auto par = make_plan(ex_dop, ga_dop);
       ASSIGN_OR_FAIL(QueryResult got, RunWithBatch(par.get(), 1024));
-      EXPECT_TRUE(SameRowSequence(got.rows, expected.rows))
-          << "exchange_dop=" << ex_dop << " gapply_dop=" << ga_dop;
+      tutil::ExpectSameSequence(got.rows, expected.rows,
+                                "exchange_dop=" + std::to_string(ex_dop) +
+                                    " gapply_dop=" + std::to_string(ga_dop));
     }
   }
 }
@@ -434,8 +428,8 @@ TEST_F(ExchangeEngineTest, SetParallelismKeepsResultsBitForBit) {
       QueryStats stats;
       ASSIGN_OR_FAIL(QueryResult got,
                      db_.Query(sql, ExchangeFriendly(), &stats));
-      EXPECT_TRUE(SameRowSequence(got.rows, expected.rows))
-          << "sql=" << sql << " dop=" << dop;
+      tutil::ExpectSameSequence(got.rows, expected.rows,
+                                "sql=" + sql + " dop=" + std::to_string(dop));
     }
   }
 }

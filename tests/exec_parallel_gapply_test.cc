@@ -23,16 +23,9 @@ using tutil::MakeTable;
 using tutil::RandomGroupedRows;
 using tutil::RunPlan;
 
-// Exact (ordered, element-wise) row-sequence equality — the parallel path
-// promises bit-for-bit the same output as serial, not just the same
+// The parallel path promises bit-for-bit the same output as serial —
+// SameRowSequence (ordered, element-wise row equality), not just the same
 // multiset.
-bool SameRowSequence(const std::vector<Row>& a, const std::vector<Row>& b) {
-  if (a.size() != b.size()) return false;
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (!RowsEqual(a[i], b[i])) return false;
-  }
-  return true;
-}
 
 // PGQ shapes used across the determinism tests.
 using PgqBuilder = std::function<PhysOpPtr(const Schema&, const std::string&)>;

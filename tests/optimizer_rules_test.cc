@@ -493,5 +493,167 @@ TEST_F(RuleTest, ClassicPushdownMovesSelectionBelowJoin) {
   EXPECT_EQ(optimized->child(1)->type(), LogicalOpType::kSelect);
 }
 
+// ---------------------------------------------------------------------------
+// Rule composition. Rules never fire in isolation in a real optimization:
+// each rewrite hands the next rule a plan it did not anticipate, and the
+// precondition analyses (empty-on-empty, gp-strong, FK metadata) must be
+// recomputed against that rewritten plan, not remembered from the original.
+// These tests stack rules pairwise and assert both semantics and the
+// fire/no-fire decisions the re-checked preconditions imply.
+// ---------------------------------------------------------------------------
+
+class RuleCompositionTest : public RuleTest {
+ protected:
+  /// A Figure-3-flavored plan that gives most rules something to chew on:
+  /// selective PGQ branches (SelectionBeforeGApply / PushSelectIntoPGQ),
+  /// narrow column use over a 10-column outer (ProjectionBeforeGApply),
+  /// a join under the GApply (classic pushdown, InvariantGrouping
+  /// candidates), and a post-GApply selection.
+  LogicalOpPtr RichPlan() {
+    auto outer = PartsuppPart();
+    const Schema gs = outer.schema();
+    auto avg_b = PlanBuilder::GroupScan("g", gs)
+                     .Select([](const Schema& s) {
+                       return Eq(Col(s, "p_brand"), Lit("Brand#22"));
+                     })
+                     .ScalarAgg(
+                         {{AggKind::kAvg, "p_retailprice", "avg_b", false}});
+    auto pgq = PlanBuilder::GroupScan("g", gs)
+                   .Select([](const Schema& s) {
+                     return Eq(Col(s, "p_brand"), Lit("Brand#11"));
+                   })
+                   .Apply(std::move(avg_b))
+                   .Select([](const Schema& s) {
+                     return Gt(Col(s, "p_retailprice"), Col(s, "avg_b"));
+                   })
+                   .Project({"p_name", "p_retailprice"});
+    return Build(std::move(outer)
+                     .GApply({"ps_suppkey"}, "g", std::move(pgq))
+                     .Select([](const Schema& s) {
+                       return Gt(Col(s, "p_retailprice"), Lit(905.0));
+                     }));
+  }
+
+  static Optimizer::Options OnlyToggle(
+      const Optimizer::Options::Toggle& toggle) {
+    Optimizer::Options o = Optimizer::Options::AllDisabled();
+    o.*(toggle.flag) = true;
+    o.cost_gate = false;  // composition coverage, not cost policy
+    return o;
+  }
+};
+
+TEST_F(RuleCompositionTest, EveryOrderedRulePairPreservesSemantics) {
+  // Apply rule A to a fixpoint, then rule B to A's output — every ordered
+  // pair. B runs on plans A rewrote, so B's preconditions are exercised
+  // against shapes the original plan never had.
+  auto plan = RichPlan();
+  ASSERT_NE(plan, nullptr);
+  const QueryResult expected = Execute(*plan);
+  ASSERT_FALSE(expected.rows.empty());
+
+  const auto& toggles = Optimizer::Options::RuleToggles();
+  ASSERT_GE(toggles.size(), 9u);
+  for (const auto& a : toggles) {
+    Optimizer first(&catalog_, &stats_, OnlyToggle(a));
+    ASSIGN_OR_FAIL(LogicalOpPtr after_a, first.Optimize(plan->Clone()));
+    for (const auto& b : toggles) {
+      Optimizer second(&catalog_, &stats_, OnlyToggle(b));
+      ASSIGN_OR_FAIL(LogicalOpPtr after_ab,
+                     second.Optimize(after_a->Clone()));
+      const QueryResult got = Execute(*after_ab);
+      EXPECT_TRUE(SameRowMultiset(got.rows, expected.rows))
+          << a.name << " then " << b.name << " broke semantics.\nAfter "
+          << a.name << ":\n" << after_a->DebugString() << "After " << b.name
+          << ":\n" << after_ab->DebugString();
+    }
+  }
+}
+
+TEST_F(RuleCompositionTest, EveryRulePairTogetherPreservesSemantics) {
+  // Both rules enabled in one optimizer: the rule loop interleaves them to
+  // a joint fixpoint, re-running the analyses between firings.
+  auto plan = RichPlan();
+  ASSERT_NE(plan, nullptr);
+  const QueryResult expected = Execute(*plan);
+
+  const auto& toggles = Optimizer::Options::RuleToggles();
+  for (size_t i = 0; i < toggles.size(); ++i) {
+    for (size_t j = i + 1; j < toggles.size(); ++j) {
+      Optimizer::Options o = OnlyToggle(toggles[i]);
+      o.*(toggles[j].flag) = true;
+      Optimizer optimizer(&catalog_, &stats_, o);
+      ASSIGN_OR_FAIL(LogicalOpPtr optimized,
+                     optimizer.Optimize(plan->Clone()));
+      const QueryResult got = Execute(*optimized);
+      EXPECT_TRUE(SameRowMultiset(got.rows, expected.rows))
+          << toggles[i].name << " + " << toggles[j].name
+          << " broke semantics.\nResult:\n" << optimized->DebugString();
+    }
+  }
+}
+
+TEST_F(RuleCompositionTest, SelectionThenGApplyToGroupByStacks) {
+  // The PGQ is σ_brand(GroupBy): empty-on-empty, so SelectionBeforeGApply
+  // may hoist the brand filter; the residual GApply(GroupBy) then collapses
+  // via GApplyToGroupBy. The second rewrite is only licensed because
+  // gp-strong/eval analyses are recomputed on the hoisted plan.
+  auto outer = PartsuppPart();
+  const Schema gs = outer.schema();
+  auto pgq = PlanBuilder::GroupScan("g", gs)
+                 .Select([](const Schema& s) {
+                   return Eq(Col(s, "p_brand"), Lit("Brand#11"));
+                 })
+                 .GroupBy({"p_size"},
+                          {{AggKind::kAvg, "p_retailprice", "a", false}});
+  auto plan =
+      Build(std::move(outer).GApply({"ps_suppkey"}, "g", std::move(pgq)));
+  ASSERT_NE(plan, nullptr);
+
+  Optimizer::Options o = Optimizer::Options::AllDisabled();
+  o.selection_before_gapply = true;
+  o.gapply_to_groupby = true;
+  o.cost_gate = false;
+  std::vector<std::string> fired;
+  LogicalOpPtr optimized = CheckEquivalent(*plan, o, &fired);
+  ASSERT_NE(optimized, nullptr);
+  EXPECT_TRUE(Fired(fired, "SelectionBeforeGApply"))
+      << optimized->DebugString();
+  EXPECT_TRUE(Fired(fired, "GApplyToGroupBy")) << optimized->DebugString();
+  EXPECT_EQ(optimized->DebugString().find("GApply"), std::string::npos)
+      << optimized->DebugString();
+}
+
+TEST_F(RuleCompositionTest, PushSelectThenSelectionBlockedByEmptyOnEmpty) {
+  // PushSelectIntoPGQ moves σ_{c>0} inside, so the PGQ becomes
+  // Select(ScalarAgg(...)): a leading selection SelectionBeforeGApply would
+  // love to hoist — but the re-checked Theorem-1 precondition sees the
+  // count underneath (a row on empty groups) and must keep blocking it.
+  auto outer = PartsuppPart();
+  const Schema gs = outer.schema();
+  auto pgq = PlanBuilder::GroupScan("g", gs)
+                 .Select([](const Schema& s) {
+                   return Eq(Col(s, "p_brand"), Lit("Brand#11"));
+                 })
+                 .ScalarAgg({{AggKind::kCountStar, "", "c", false}});
+  auto plan = Build(std::move(outer)
+                        .GApply({"ps_suppkey"}, "g", std::move(pgq))
+                        .Select([](const Schema& s) {
+                          return Gt(Col(s, "c"), Lit(int64_t{0}));
+                        }));
+  ASSERT_NE(plan, nullptr);
+
+  Optimizer::Options o = Optimizer::Options::AllDisabled();
+  o.push_select_into_pgq = true;
+  o.selection_before_gapply = true;
+  o.cost_gate = false;
+  std::vector<std::string> fired;
+  LogicalOpPtr optimized = CheckEquivalent(*plan, o, &fired);
+  ASSERT_NE(optimized, nullptr);
+  EXPECT_TRUE(Fired(fired, "PushSelectIntoPGQ")) << optimized->DebugString();
+  EXPECT_FALSE(Fired(fired, "SelectionBeforeGApply"))
+      << optimized->DebugString();
+}
+
 }  // namespace
 }  // namespace gapply

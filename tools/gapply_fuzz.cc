@@ -1,0 +1,83 @@
+// Differential query fuzzer driver. See DESIGN.md §11 for the contract.
+//
+// Typical invocations:
+//   gapply_fuzz --cases=1000                 # fuzz seeds 1..1000
+//   gapply_fuzz --cases=200 --time-budget-s=60   # CI smoke budget
+//   gapply_fuzz --seed=1234 --cases=1        # replay one failing case
+//   gapply_fuzz --inject-precondition-bug    # self-test: must mismatch
+//
+// Exit status: 0 = every oracle agreed on every case; 1 = at least one
+// mismatch or generator error (repro + seed printed); 2 = bad usage.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "src/fuzz/fuzzer.h"
+
+namespace {
+
+void PrintUsage() {
+  std::cerr
+      << "usage: gapply_fuzz [options]\n"
+         "  --cases=N                  number of cases (default 1000)\n"
+         "  --seed=N                   first seed (default 1); with\n"
+         "                             --cases=1 this replays one case\n"
+         "  --time-budget-s=S          stop after S seconds (default: none)\n"
+         "  --keep-going               continue past failures\n"
+         "  --no-minimize              skip shrinking failing cases\n"
+         "  --inject-precondition-bug  enable the deliberately unsound\n"
+         "                             SelectionBeforeGApply variant; the\n"
+         "                             run SHOULD report mismatches\n"
+         "  --verbose                  print every case's SQL\n";
+}
+
+bool ParseValue(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  gapply::fuzz::FuzzOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    if (ParseValue(arg, "--cases", &value)) {
+      options.cases = std::atoi(value.c_str());
+    } else if (ParseValue(arg, "--seed", &value)) {
+      options.base_seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseValue(arg, "--time-budget-s", &value)) {
+      options.time_budget_s = std::atof(value.c_str());
+    } else if (std::strcmp(arg, "--keep-going") == 0) {
+      options.keep_going = true;
+    } else if (std::strcmp(arg, "--no-minimize") == 0) {
+      options.minimize = false;
+    } else if (std::strcmp(arg, "--inject-precondition-bug") == 0) {
+      options.matrix.inject_precondition_bug = true;
+    } else if (std::strcmp(arg, "--verbose") == 0) {
+      options.verbose = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      PrintUsage();
+      return 0;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+  if (options.cases <= 0) {
+    std::cerr << "--cases must be positive\n";
+    return 2;
+  }
+
+  gapply::fuzz::FuzzReport report =
+      gapply::fuzz::RunFuzz(options, &std::cout);
+  return report.ok() ? 0 : 1;
+}
