@@ -162,6 +162,10 @@ void Run() {
       "\npaper: the simulation of Q4 took ~20%% longer than the native "
       "server-side GApply,\nso the Figure-8 speedups (measured via the "
       "simulation) are conservative.\n");
+  RecordTiming("native_gapply", native_ms);
+  RecordTiming("client_simulation", sim_best);
+  RecordPlanProfile(&db, *native, QueryOptions{}, "native_gapply");
+  WriteBenchJson("client_simulation", sf, reps);
 }
 
 }  // namespace

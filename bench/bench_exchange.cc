@@ -245,7 +245,7 @@ void WriteJson(double sf, int reps) {
         r.speedup_vs_serial, r.partition_ms, r.merge_ms,
         r.valid ? "true" : "false", i + 1 == g_records.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n%s\n}\n", ProfilesJsonMember().c_str());
   std::fclose(f);
   std::printf("wrote BENCH_exchange.json (%zu records)\n", g_records.size());
 }
@@ -279,6 +279,20 @@ void Run() {
            reps);
   RunSweep("partsupp_scan_agg",
            [&](size_t dop) { return MakeScanAgg(*partsupp, dop); }, reps);
+
+  // Per-operator profiles for one representative of each workload, at the
+  // headline DOP 4 (shows the exchange partition/merge phase breakdown).
+  {
+    Plan plan = MakeScanFilterAgg(wide.get(), 4);
+    ExecContext ctx;
+    RecordPhysProfile(plan.root.get(), &ctx, "scan_filter_agg_dop4");
+  }
+  {
+    Plan plan = MakeJoinAgg(*partsupp, *supplier, 4);
+    ExecContext ctx;
+    RecordPhysProfile(plan.root.get(), &ctx,
+                      "partsupp_join_supplier_agg_dop4");
+  }
 
   WriteJson(sf, reps);
   if (!g_criterion_met) {

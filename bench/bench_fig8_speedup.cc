@@ -270,10 +270,15 @@ void Run() {
     const double without_ms = TimePlanMs(&db, *c.baseline, opt, &rows);
     std::printf("%-6s %14.2f %14.2f %8.2fx   %s\n", c.name, without_ms,
                 with_ms, without_ms / with_ms, c.paper);
+    RecordTiming(std::string(c.name) + "_gapply", with_ms);
+    RecordTiming(std::string(c.name) + "_baseline", without_ms);
+    RecordPlanProfile(&db, **gapply_plan, opt,
+                      std::string(c.name) + "_gapply");
   }
   std::printf(
       "\nratio = time without GApply / time with GApply (>1 means GApply "
       "wins)\n");
+  WriteBenchJson("fig8_speedup", sf, Reps());
 }
 
 }  // namespace

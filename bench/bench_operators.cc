@@ -141,7 +141,60 @@ void BM_ApplyUncorrelatedCached(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyUncorrelatedCached);
 
+// Re-times the headline plans with the shared TimePlanMs harness and emits
+// BENCH_operators.json (timings + per-operator profiles). Google Benchmark
+// owns the console numbers; this JSON is what tools/bench_check gates on.
+void EmitJson() {
+  Database* db = SharedDb();
+  struct NamedPlan {
+    std::string label;
+    LogicalOpPtr plan;
+    QueryOptions options;
+  };
+  std::vector<NamedPlan> plans;
+  plans.push_back({"table_scan",
+                   MustBuild(PlanBuilder::Scan(*db->catalog(), "partsupp")),
+                   {}});
+  plans.push_back(
+      {"hash_join",
+       MustBuild(PlanBuilder::Scan(*db->catalog(), "partsupp")
+                     .Join(PlanBuilder::Scan(*db->catalog(), "part"),
+                           {"ps_partkey"}, {"p_partkey"})),
+       {}});
+  plans.push_back(
+      {"hash_group_by",
+       MustBuild(PlanBuilder::Scan(*db->catalog(), "partsupp")
+                     .GroupBy({"ps_suppkey"},
+                              {{AggKind::kAvg, "ps_supplycost", "a", false}})),
+       {}});
+  {
+    auto outer = PlanBuilder::Scan(*db->catalog(), "partsupp");
+    const Schema gs = outer.schema();
+    QueryOptions options;
+    options.optimizer = Optimizer::Options::AllDisabled();
+    plans.push_back({"gapply_aggregate_pgq",
+                     MustBuild(std::move(outer).GApply(
+                         {"ps_suppkey"}, "g",
+                         PlanBuilder::GroupScan("g", gs).ScalarAgg(
+                             {{AggKind::kAvg, "ps_supplycost", "a", false}}))),
+                     options});
+  }
+  for (const NamedPlan& p : plans) {
+    size_t rows = 0;
+    RecordTiming(p.label, TimePlanMs(db, *p.plan, p.options, &rows));
+    RecordPlanProfile(db, *p.plan, p.options, p.label);
+  }
+  WriteBenchJson("operators", ScaleFactor(0.01), Reps());
+}
+
 }  // namespace
 }  // namespace gapply::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  gapply::bench::EmitJson();
+  return 0;
+}

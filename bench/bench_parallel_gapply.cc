@@ -278,7 +278,7 @@ void WriteJson(double sf, int reps) {
         r.partition_ms, r.pgq_exec_ms, r.identical_output ? "true" : "false",
         i + 1 == g_records.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n%s\n}\n", ProfilesJsonMember().c_str());
   std::fclose(f);
   std::printf("\nwrote BENCH_parallel_gapply.json (%zu records)\n",
               g_records.size());
@@ -294,6 +294,27 @@ void Run() {
   LoadDb(&db, sf);
   RunTpchSweep(&db, reps);
   RunSyntheticSweep(reps);
+
+  // Per-operator profiles: the TPC-H sweep at DOP 4 (shows the GApply
+  // partition / per_group_query phase split and per-worker merge), plus a
+  // synthetic shape.
+  {
+    QueryOptions opts;
+    opts.optimize = false;
+    opts.lowering.gapply_parallelism = 4;
+    Result<LogicalOpPtr> plan = db.Plan(kTpchSql);
+    if (plan.ok()) {
+      RecordPlanProfile(&db, **plan, opts, "tpch_q2_partsupp_t4");
+    }
+  }
+  {
+    auto table = MakeGroupedTable(1000, 64);
+    PhysOpPtr op =
+        MakeSyntheticGApply(table.get(), PartitionMode::kHash, 4);
+    ExecContext ctx;
+    RecordPhysProfile(op.get(), &ctx, "synthetic_g1000_n64_hash_t4");
+  }
+
   WriteJson(sf, reps);
 }
 

@@ -63,11 +63,18 @@ void Run() {
     const double hash_ms = TimePlanMs(&db, **plan, hash_opt, &rows);
     std::printf("%-6s %12.2f %12.2f %9.2fx\n", q[0], sort_ms, hash_ms,
                 sort_ms / hash_ms);
+    RecordTiming(std::string(q[0]) + "_sort", sort_ms);
+    RecordTiming(std::string(q[0]) + "_hash", hash_ms);
+    RecordPlanProfile(&db, **plan, sort_opt,
+                      std::string(q[0]) + "_sort");
+    RecordPlanProfile(&db, **plan, hash_opt,
+                      std::string(q[0]) + "_hash");
   }
   std::printf(
       "\npaper: \"the impact of GApply is comparable whether we perform "
       "partitioning\nthrough sorting or through hashing\" — expect ratios "
       "near 1.\n");
+  WriteBenchJson("partition_modes", sf, Reps());
 }
 
 }  // namespace

@@ -63,6 +63,10 @@ void Run() {
   std::printf(
       "\npaper: the non-GApply plan is \"orders of magnitude\" slower — "
       "expect a ratio in the tens to thousands, growing with scale.\n");
+  RecordTiming("q4_gapply", gapply_ms);
+  RecordTiming("q4_correlated", correlated_ms);
+  RecordSqlProfile(&db, kQ4GApply, QueryOptions{}, "q4_gapply");
+  WriteBenchJson("q4_rewrite", sf, Reps());
 }
 
 }  // namespace

@@ -41,9 +41,11 @@ LogicalOpPtr MustBuild(PlanBuilder b) {
 
 // Times `plan` with and without `flag` (all other rules off except classic
 // pushdown, which both sides get — the paper pushes the inserted selections
-// down "using the traditional rules"). Returns without/with ratio.
+// down "using the traditional rules"). Returns without/with ratio. `label`
+// names this sweep point in BENCH_table1_rules.json.
 double RatioFor(Database* db, const LogicalOp& plan,
-                bool Optimizer::Options::* flag, bool force_fire = false) {
+                bool Optimizer::Options::* flag, const std::string& label,
+                bool force_fire = false) {
   QueryOptions without;
   without.optimizer = Optimizer::Options::AllDisabled();
   without.optimizer.classic_pushdown = true;
@@ -63,6 +65,9 @@ double RatioFor(Database* db, const LogicalOp& plan,
   size_t rows = 0;
   const double t_without = TimePlanMs(db, plan, without, &rows);
   const double t_with = TimePlanMs(db, plan, with, &rows);
+  RecordTiming(label + "_without", t_without);
+  RecordTiming(label + "_with", t_with);
+  RecordPlanProfile(db, plan, with, label);
   return t_without / t_with;
 }
 
@@ -93,7 +98,8 @@ RatioStats SelectionRule(Database* db) {
     LogicalOpPtr plan = MustBuild(
         std::move(outer).GApply({"ps_suppkey"}, "g", std::move(pgq)));
     stats.Add(RatioFor(db, *plan,
-                       &Optimizer::Options::selection_before_gapply));
+                       &Optimizer::Options::selection_before_gapply,
+                       "selection_x" + std::to_string(static_cast<int>(x))));
   }
   return stats;
 }
@@ -121,7 +127,8 @@ RatioStats ProjectionRule(Database* db) {
     LogicalOpPtr plan = MustBuild(
         std::move(outer).GApply({"ps_suppkey"}, "g", std::move(pgq)));
     stats.Add(RatioFor(db, *plan,
-                       &Optimizer::Options::projection_before_gapply));
+                       &Optimizer::Options::projection_before_gapply,
+                       "projection_w" + std::to_string(width)));
   }
   return stats;
 }
@@ -145,7 +152,8 @@ RatioStats GroupByRule(Database* db) {
       LogicalOpPtr plan =
           MustBuild(std::move(outer).GApply({gcol}, "g", std::move(pgq)));
       stats.Add(
-          RatioFor(db, *plan, &Optimizer::Options::gapply_to_groupby));
+          RatioFor(db, *plan, &Optimizer::Options::gapply_to_groupby,
+                   "groupby_" + gcol + "_a" + std::to_string(naggs)));
     }
   }
   return stats;
@@ -170,6 +178,7 @@ RatioStats ExistsRule(Database* db) {
         std::move(outer).GApply({"ps_suppkey"}, "g", std::move(pgq)));
     stats.Add(RatioFor(db, *plan,
                        &Optimizer::Options::group_selection_exists,
+                       "exists_x" + std::to_string(static_cast<int>(x)),
                        /*force_fire=*/true));
   }
   return stats;
@@ -194,6 +203,7 @@ RatioStats AggSelectionRule(Database* db) {
         std::move(outer).GApply({"ps_suppkey"}, "g", std::move(pgq)));
     stats.Add(RatioFor(db, *plan,
                        &Optimizer::Options::group_selection_aggregate,
+                       "aggsel_x" + std::to_string(static_cast<int>(x)),
                        /*force_fire=*/true));
   }
   return stats;
@@ -219,7 +229,8 @@ RatioStats InvariantRule(Database* db) {
     LogicalOpPtr plan = MustBuild(
         std::move(outer).GApply({"ps_suppkey"}, "g", std::move(pgq)));
     stats.Add(
-        RatioFor(db, *plan, &Optimizer::Options::invariant_grouping));
+        RatioFor(db, *plan, &Optimizer::Options::invariant_grouping,
+                 "invariant_q" + std::to_string(qty)));
   }
   return stats;
 }
@@ -263,6 +274,7 @@ void Run() {
       "\n'avg / wins' averages only the sweep points where the rule "
       "lowered elapsed time;\na gap vs 'avg benefit' means the rule can "
       "hurt (the cost-gated group-selection pair).\n");
+  WriteBenchJson("table1_rules", sf, Reps());
 }
 
 }  // namespace

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/json.h"
 #include "src/engine/database.h"
+#include "src/exec/profile.h"
 
 namespace gapply::bench {
 
@@ -98,6 +100,129 @@ inline void CheckSameResults(Database* db, const LogicalOp& a,
                  rb.ok() ? rb->rows.size() : 0);
     std::exit(1);
   }
+}
+
+/// Per-bench registry of representative per-operator profile snapshots
+/// (label → the shared profile JSON schema, see ProfileToJson). Every bench
+/// records one profile per key workload and embeds the registry in its
+/// BENCH_*.json as a "profiles" member, so tools/bench_check and humans see
+/// the same per-operator breakdown everywhere.
+inline JsonValue& ProfileRegistry() {
+  static JsonValue* registry = new JsonValue(JsonValue::Object());
+  return *registry;
+}
+
+/// Executes `plan` once with profiling on and records its per-operator
+/// profile under `label`. Failures abort the bench (same policy as
+/// TimePlanMs).
+inline void RecordPlanProfile(Database* db, const LogicalOp& plan,
+                              QueryOptions options, const std::string& label) {
+  options.profile = true;
+  QueryStats stats;
+  Result<QueryResult> r = db->Execute(plan, options, &stats);
+  if (!r.ok() || !stats.has_profile) {
+    std::fprintf(stderr, "profile run failed (%s): %s\n", label.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  ProfileRegistry().Set(label, ProfileToJson(stats.profile));
+}
+
+/// Parses + binds `sql`, then records like RecordPlanProfile.
+inline void RecordSqlProfile(Database* db, const std::string& sql,
+                             const QueryOptions& options,
+                             const std::string& label) {
+  Result<LogicalOpPtr> plan = db->Plan(sql);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "bind failed: %s\nSQL: %s\n",
+                 plan.status().ToString().c_str(), sql.c_str());
+    std::exit(1);
+  }
+  RecordPlanProfile(db, **plan, options, label);
+}
+
+/// Executes a raw physical tree once with profiling on (restoring the
+/// context's profiling flag afterwards) and records its profile. Safe on
+/// trees that are also used for timed reps: profile counters accumulate
+/// only while profiling is enabled.
+inline void RecordPhysProfile(PhysOp* root, ExecContext* ctx,
+                              const std::string& label) {
+  const bool was_profiling = ctx->profiling();
+  ctx->set_profiling(true);
+  Result<QueryResult> r = ExecuteToVector(root, ctx);
+  ctx->set_profiling(was_profiling);
+  if (!r.ok()) {
+    std::fprintf(stderr, "profile run failed (%s): %s\n", label.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  ProfileRegistry().Set(label, CollectProfileJson(*root));
+}
+
+/// One named timing measurement destined for BENCH_*.json. bench_check
+/// gates on the "ms" leaf and uses "label" for its messages.
+struct TimingRecord {
+  std::string label;
+  double ms = 0;
+};
+
+inline std::vector<TimingRecord>& TimingRegistry() {
+  static std::vector<TimingRecord>* registry =
+      new std::vector<TimingRecord>();
+  return *registry;
+}
+
+inline void RecordTiming(const std::string& label, double ms) {
+  TimingRegistry().push_back({label, ms});
+}
+
+/// Writes BENCH_<name>.json with the standard metadata header, every
+/// RecordTiming measurement, and the profile registry — the shared shape
+/// for benches without a bespoke hand-printed emitter.
+inline void WriteBenchJson(const std::string& name, double sf, int reps);
+
+/// Renders the registry as a top-level `"profiles": {...}` member (no
+/// trailing comma or newline), indented to nest inside the hand-printed
+/// BENCH_*.json documents.
+inline std::string ProfilesJsonMember() {
+  const std::string dumped = ProfileRegistry().Dump(2);
+  std::string indented;
+  indented.reserve(dumped.size() + dumped.size() / 8);
+  for (size_t start = 0; start < dumped.size();) {
+    size_t end = dumped.find('\n', start);
+    if (end == std::string::npos) end = dumped.size();
+    if (start > 0) indented += "\n  ";
+    indented.append(dumped, start, end - start);
+    start = end + 1;
+  }
+  return "  \"profiles\": " + indented;
+}
+
+inline void WriteBenchJson(const std::string& name, double sf, int reps) {
+  const std::string path = "BENCH_" + name + ".json";
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"%s\",\n"
+               "  \"scale_factor\": %g,\n"
+               "  \"reps\": %d,\n"
+               "  \"hardware_concurrency\": %zu,\n"
+               "  \"results\": [\n",
+               name.c_str(), sf, reps, ThreadPool::DefaultParallelism());
+  const std::vector<TimingRecord>& timings = TimingRegistry();
+  for (size_t i = 0; i < timings.size(); ++i) {
+    std::fprintf(f, "    {\"label\": \"%s\", \"ms\": %.4f}%s\n",
+                 JsonEscape(timings[i].label).c_str(), timings[i].ms,
+                 i + 1 == timings.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ],\n%s\n}\n", ProfilesJsonMember().c_str());
+  std::fclose(f);
+  std::printf("wrote %s (%zu timings, %zu profiles)\n", path.c_str(),
+              timings.size(), ProfileRegistry().members().size());
 }
 
 struct RatioStats {

@@ -234,7 +234,7 @@ void WriteJson(double sf, int reps) {
         static_cast<unsigned long long>(r.batches), r.avg_fill,
         r.valid ? "true" : "false", i + 1 == g_records.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n%s\n}\n", ProfilesJsonMember().c_str());
   std::fclose(f);
   std::printf("wrote BENCH_vectorized.json (%zu records)\n",
               g_records.size());
@@ -276,6 +276,27 @@ void Run() {
       RunSweep(name, [&] { return MakeGApply(*partsupp, mode, dop); }, reps,
                /*bit_for_bit=*/dop > 1);
     }
+  }
+
+  // Per-operator profiles for one representative of each pipeline shape,
+  // at the headline batch size.
+  {
+    PhysOpPtr op = MakeScanFilterProject(wide.get());
+    ExecContext ctx;
+    ctx.set_batch_size(1024);
+    RecordPhysProfile(op.get(), &ctx, "scan_filter_project_b1024");
+  }
+  {
+    PhysOpPtr op = MakeHashJoin(fact.get(), dim.get());
+    ExecContext ctx;
+    ctx.set_batch_size(1024);
+    RecordPhysProfile(op.get(), &ctx, "hash_join_b1024");
+  }
+  {
+    PhysOpPtr op = MakeGApply(*partsupp, PartitionMode::kHash, 4);
+    ExecContext ctx;
+    ctx.set_batch_size(1024);
+    RecordPhysProfile(op.get(), &ctx, "gapply_hash_t4_b1024");
   }
 
   WriteJson(sf, reps);

@@ -1,0 +1,119 @@
+#ifndef GAPPLY_COMMON_JSON_H_
+#define GAPPLY_COMMON_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace gapply {
+
+/// \brief Minimal JSON document model shared by the query profiler, the
+/// bench emitters, and the CI perf-regression gate (tools/bench_check).
+///
+/// Objects preserve insertion order (profiles render deterministically and
+/// golden tests diff byte-for-byte). Numbers keep an int64/double split so
+/// counters round-trip exactly; doubles serialize with %.6g which is enough
+/// for millisecond timings. This is intentionally not a general-purpose
+/// JSON library: no \uXXXX escapes beyond what Dump emits, no streaming —
+/// just what BENCH_*.json and profile payloads need.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : type_(Type::kNull) {}
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b) {
+    JsonValue v;
+    v.type_ = Type::kBool;
+    v.bool_ = b;
+    return v;
+  }
+  static JsonValue Int(int64_t i) {
+    JsonValue v;
+    v.type_ = Type::kInt;
+    v.int_ = i;
+    return v;
+  }
+  static JsonValue Double(double d) {
+    JsonValue v;
+    v.type_ = Type::kDouble;
+    v.double_ = d;
+    return v;
+  }
+  static JsonValue Str(std::string s) {
+    JsonValue v;
+    v.type_ = Type::kString;
+    v.string_ = std::move(s);
+    return v;
+  }
+  static JsonValue Array() {
+    JsonValue v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static JsonValue Object() {
+    JsonValue v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  /// Numeric value as double regardless of int/double storage.
+  double number_value() const {
+    return type_ == Type::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Array append (value must be an array).
+  void Append(JsonValue v) { items_.push_back(std::move(v)); }
+
+  /// Object insert-or-overwrite, preserving first-insertion order.
+  void Set(const std::string& key, JsonValue v);
+
+  /// Object lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Serializes. `indent` < 0 emits compact one-line JSON; >= 0 pretty-
+  /// prints with that many leading spaces per nesting level step of 2.
+  std::string Dump(int indent = -1) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a JSON document (single value; trailing whitespace allowed).
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes
+/// added). Shared by the hand-rolled bench emitters.
+std::string JsonEscape(const std::string& s);
+
+}  // namespace gapply
+
+#endif  // GAPPLY_COMMON_JSON_H_

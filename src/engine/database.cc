@@ -1,10 +1,37 @@
 #include "src/engine/database.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/common/thread_pool.h"
 
 namespace gapply {
+
+namespace {
+
+std::string FormatRows(double rows) {
+  if (rows < 0) return "?";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", rows);
+  return buf;
+}
+
+/// One string column, one row per line of `text` — how EXPLAIN output is
+/// surfaced through the ordinary Query result channel.
+QueryResult TextResult(const std::string& text) {
+  QueryResult result;
+  result.schema = Schema({Column("explain", TypeId::kString)});
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    result.rows.push_back(Row{Value::Str(text.substr(start, end - start))});
+    start = end + 1;
+  }
+  return result;
+}
+
+}  // namespace
 
 Status Database::LoadTpch(const tpch::TpchConfig& config) {
   RETURN_NOT_OK(tpch::Generate(config, &catalog_));
@@ -53,6 +80,15 @@ Status Database::ApplySetStatement(const sql::SetStatement& stmt) {
     set_default_batch_size(static_cast<size_t>(stmt.value));
     return Status::OK();
   }
+  if (stmt.name == "profile") {
+    if (stmt.value != 0 && stmt.value != 1) {
+      return Status::InvalidArgument(
+          "SET profile: value must be on/off (1/0), got " +
+          std::to_string(stmt.value));
+    }
+    set_default_profile(stmt.value != 0);
+    return Status::OK();
+  }
   return Status::InvalidArgument("unknown session option: " + stmt.name);
 }
 
@@ -64,6 +100,27 @@ Result<QueryResult> Database::Query(const std::string& sql,
   if (set_stmt.has_value()) {
     RETURN_NOT_OK(ApplySetStatement(*set_stmt));
     return QueryResult{};
+  }
+  ASSIGN_OR_RETURN(std::optional<sql::ExplainStatement> explain_stmt,
+                   sql::TryParseExplain(sql));
+  if (explain_stmt.has_value()) {
+    if (!explain_stmt->analyze) {
+      if (explain_stmt->json) {
+        return Status::InvalidArgument(
+            "EXPLAIN (FORMAT JSON) requires ANALYZE");
+      }
+      ASSIGN_OR_RETURN(std::string text,
+                       Explain(explain_stmt->query, options));
+      return TextResult(text);
+    }
+    if (explain_stmt->json) {
+      ASSIGN_OR_RETURN(JsonValue json,
+                       ExplainAnalyzeJson(explain_stmt->query, options));
+      return TextResult(json.Dump(2));
+    }
+    ASSIGN_OR_RETURN(std::string text,
+                     ExplainAnalyze(explain_stmt->query, options));
+    return TextResult(text);
   }
   ASSIGN_OR_RETURN(LogicalOpPtr plan, Plan(sql));
   return Execute(*plan, options, stats_out);
@@ -78,8 +135,10 @@ Result<QueryResult> Database::Execute(const LogicalOp& plan,
     ASSIGN_OR_RETURN(working, optimizer.Optimize(std::move(working)));
     if (stats_out != nullptr) {
       stats_out->fired_rules = optimizer.fired_rules();
+      stats_out->rule_trace = optimizer.rule_trace();
     }
   }
+  const bool profile = options.profile || default_profile_;
   LoweringOptions lowering = options.lowering;
   if (lowering.gapply_parallelism == 0) {
     lowering.gapply_parallelism = default_gapply_parallelism_;
@@ -87,16 +146,83 @@ Result<QueryResult> Database::Execute(const LogicalOp& plan,
   if (lowering.exchange_parallelism == 0) {
     lowering.exchange_parallelism = default_gapply_parallelism_;
   }
+  CostModel cost_model(&catalog_, &stats_);
+  if (profile && lowering.cost_model == nullptr) {
+    // Stamp estimated cardinalities so the profile can report estimated
+    // vs. actual rows per operator.
+    lowering.cost_model = &cost_model;
+  }
   ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*working, lowering));
   ExecContext ctx;
+  ctx.set_profiling(profile);
   ctx.set_batch_size(options.batch_size == 0 ? default_batch_size_
                                              : options.batch_size);
   const size_t max_dop =
       std::max(lowering.gapply_parallelism, lowering.exchange_parallelism);
   if (max_dop > 1) ctx.set_thread_pool(shared_thread_pool(max_dop));
   ASSIGN_OR_RETURN(QueryResult result, ExecuteToVector(phys.get(), &ctx));
-  if (stats_out != nullptr) stats_out->counters = ctx.counters();
+  if (stats_out != nullptr) {
+    stats_out->counters = ctx.counters();
+    if (profile) {
+      stats_out->has_profile = true;
+      stats_out->profile = CollectProfile(*phys);
+    }
+  }
   return result;
+}
+
+Result<std::string> Database::ExplainAnalyze(const std::string& sql,
+                                             const QueryOptions& options) {
+  QueryOptions opts = options;
+  opts.profile = true;
+  QueryStats stats;
+  ASSIGN_OR_RETURN(LogicalOpPtr plan, Plan(sql));
+  ASSIGN_OR_RETURN(QueryResult result, Execute(*plan, opts, &stats));
+  std::string out = RenderProfileText(stats.profile);
+  out += "result rows: " + std::to_string(result.rows.size()) + "\n";
+  if (!stats.rule_trace.empty()) {
+    out += "=== rule trace ===\n";
+    for (const Optimizer::RuleFiring& firing : stats.rule_trace) {
+      out += firing.rule + "  (est rows " + FormatRows(firing.rows_before) +
+             " -> " + FormatRows(firing.rows_after) + ")\n";
+    }
+  }
+  return out;
+}
+
+Result<JsonValue> Database::ExplainAnalyzeJson(const std::string& sql,
+                                               const QueryOptions& options) {
+  QueryOptions opts = options;
+  opts.profile = true;
+  QueryStats stats;
+  ASSIGN_OR_RETURN(LogicalOpPtr plan, Plan(sql));
+  ASSIGN_OR_RETURN(QueryResult result, Execute(*plan, opts, &stats));
+  JsonValue out = JsonValue::Object();
+  out.Set("plan", ProfileToJson(stats.profile));
+  JsonValue rules = JsonValue::Array();
+  for (const Optimizer::RuleFiring& firing : stats.rule_trace) {
+    JsonValue rule = JsonValue::Object();
+    rule.Set("rule", JsonValue::Str(firing.rule));
+    if (firing.rows_before >= 0) {
+      rule.Set("estimated_rows_before", JsonValue::Double(firing.rows_before));
+    }
+    if (firing.rows_after >= 0) {
+      rule.Set("estimated_rows_after", JsonValue::Double(firing.rows_after));
+    }
+    rules.Append(std::move(rule));
+  }
+  out.Set("rules", std::move(rules));
+  JsonValue counters = JsonValue::Object();
+  counters.Set("result_rows",
+               JsonValue::Int(static_cast<int64_t>(result.rows.size())));
+  counters.Set("gapply_workers",
+               JsonValue::Int(static_cast<int64_t>(
+                   stats.counters.gapply_workers)));
+  counters.Set("gapply_worker_busy_ns",
+               JsonValue::Int(static_cast<int64_t>(
+                   stats.counters.gapply_worker_busy_ns)));
+  out.Set("counters", std::move(counters));
+  return out;
 }
 
 Result<std::string> Database::Explain(const std::string& sql,

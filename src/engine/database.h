@@ -4,10 +4,12 @@
 #include <memory>
 #include <string>
 
+#include "src/common/json.h"
 #include "src/common/thread_pool.h"
 
 #include "src/exec/lowering.h"
 #include "src/exec/physical_op.h"
+#include "src/exec/profile.h"
 #include "src/optimizer/optimizer.h"
 #include "src/sql/binder.h"
 #include "src/sql/parser.h"
@@ -28,12 +30,24 @@ struct QueryOptions {
   /// session default (`SET batch_size = N`, initially
   /// RowBatch::kDefaultCapacity).
   size_t batch_size = 0;
+  /// Collect a per-operator runtime profile (scoped timers in the PhysOp
+  /// entry points) for this query. Also enabled by the session knob
+  /// `SET profile = on` and implicitly by EXPLAIN ANALYZE.
+  bool profile = false;
 };
 
 /// Execution counters + fired-rule log for one query.
 struct QueryStats {
   ExecContext::Counters counters;
   std::vector<std::string> fired_rules;
+  /// Per-firing optimizer trace: rule name plus estimated cardinality of
+  /// the rewritten subtree before/after (see Optimizer::RuleFiring).
+  std::vector<Optimizer::RuleFiring> rule_trace;
+  /// Per-operator runtime profile snapshot; populated only when the query
+  /// ran with profiling on (QueryOptions::profile / SET profile = on /
+  /// EXPLAIN ANALYZE).
+  bool has_profile = false;
+  ProfileNode profile;
 };
 
 /// \brief Top-level facade: catalog + statistics + SQL front end +
@@ -50,9 +64,16 @@ struct QueryStats {
 /// for GApply's per-group phase AND for plan-wide morsel parallelism —
 /// Exchange fan-out, parallel hash-join build, parallel hash aggregation;
 /// 1 = serial, 0 = all hardware threads) and `SET batch_size = N` (rows per
-/// RowBatch in the vectorized pipeline; 1 degenerates to row-at-a-time).
-/// Both persist for the session and apply to every subsequent query whose
+/// RowBatch in the vectorized pipeline; 1 degenerates to row-at-a-time)
+/// and `SET profile = on|off` (collect per-operator runtime profiles for
+/// every query; surfaced via QueryStats::profile and EXPLAIN ANALYZE).
+/// All persist for the session and apply to every subsequent query whose
 /// QueryOptions do not override them.
+///
+/// `Query` also understands EXPLAIN prefixes: `EXPLAIN <q>` (plans only),
+/// `EXPLAIN ANALYZE <q>` (execute + annotated profile tree), and
+/// `EXPLAIN (ANALYZE, FORMAT JSON) <q>`; the report comes back as rows of
+/// a single string column.
 ///
 /// Parallel execution draws workers from a single Database-owned ThreadPool
 /// shared by every query and every operator (Exchange, GApply, parallel
@@ -90,6 +111,21 @@ class Database {
   Result<std::string> Explain(const std::string& sql,
                               const QueryOptions& options = {});
 
+  /// EXPLAIN ANALYZE: executes `sql` (a plain query, no EXPLAIN prefix)
+  /// with profiling on and renders the annotated physical plan tree —
+  /// per-operator wall time (self vs. cumulative), rows/batches in and out,
+  /// DOP, per-phase attribution (GApply partition vs. per-group-query,
+  /// Exchange partition vs. merge) — followed by the optimizer rule trace.
+  /// The query's result rows are discarded.
+  Result<std::string> ExplainAnalyze(const std::string& sql,
+                                     const QueryOptions& options = {});
+
+  /// EXPLAIN (ANALYZE, FORMAT JSON): same execution, but returns the shared
+  /// per-operator JSON schema (see ProfileToJson) under "plan", the rule
+  /// trace under "rules", and headline counters under "counters".
+  Result<JsonValue> ExplainAnalyzeJson(const std::string& sql,
+                                       const QueryOptions& options = {});
+
   /// Session default for GApply's degree of parallelism, applied to every
   /// query whose QueryOptions leave `lowering.gapply_parallelism` at 0.
   size_t default_gapply_parallelism() const {
@@ -104,6 +140,11 @@ class Database {
     default_batch_size_ = n == 0 ? RowBatch::kDefaultCapacity : n;
   }
 
+  /// Session default for runtime profiling (`SET profile = on`), applied to
+  /// every query whose QueryOptions leave `profile` false.
+  bool default_profile() const { return default_profile_; }
+  void set_default_profile(bool on) { default_profile_ = on; }
+
  private:
   /// Applies a parsed `SET name = value` statement to the session.
   Status ApplySetStatement(const sql::SetStatement& stmt);
@@ -117,6 +158,7 @@ class Database {
   StatsManager stats_;
   size_t default_gapply_parallelism_ = 1;
   size_t default_batch_size_ = RowBatch::kDefaultCapacity;
+  bool default_profile_ = false;
   std::unique_ptr<ThreadPool> thread_pool_;
 };
 

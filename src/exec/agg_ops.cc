@@ -73,7 +73,7 @@ HashGroupByOp::HashGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
       aggs_(std::move(aggs)),
       parallelism_(std::max<size_t>(1, parallelism)) {}
 
-Status HashGroupByOp::Open(ExecContext* ctx) {
+Status HashGroupByOp::OpenImpl(ExecContext* ctx) {
   output_.clear();
   pos_ = 0;
   RETURN_NOT_OK(child_->Open(ctx));
@@ -272,13 +272,13 @@ Status HashGroupByOp::AggregateParallel(ExecContext* ctx,
   return Status::OK();
 }
 
-Result<bool> HashGroupByOp::Next(ExecContext*, Row* out) {
+Result<bool> HashGroupByOp::NextImpl(ExecContext*, Row* out) {
   if (pos_ >= output_.size()) return false;
   *out = output_[pos_++];
   return true;
 }
 
-Result<bool> HashGroupByOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> HashGroupByOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   if (pos_ >= output_.size()) return false;
   const size_t n = std::min(out->capacity(), output_.size() - pos_);
@@ -290,7 +290,7 @@ Result<bool> HashGroupByOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status HashGroupByOp::Close(ExecContext*) {
+Status HashGroupByOp::CloseImpl(ExecContext*) {
   output_.clear();
   return Status::OK();
 }
@@ -317,7 +317,7 @@ StreamGroupByOp::StreamGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
       key_columns_(std::move(key_columns)),
       aggs_(std::move(aggs)) {}
 
-Status StreamGroupByOp::Open(ExecContext* ctx) {
+Status StreamGroupByOp::OpenImpl(ExecContext* ctx) {
   in_group_ = false;
   child_done_ = false;
   have_pending_ = false;
@@ -353,7 +353,7 @@ bool StreamGroupByOp::SameKeyAsCurrent(const Row& row) const {
   return true;
 }
 
-Result<bool> StreamGroupByOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> StreamGroupByOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     Row row;
     bool has = false;
@@ -391,7 +391,7 @@ Result<bool> StreamGroupByOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-Result<bool> StreamGroupByOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> StreamGroupByOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   while (!out->full()) {
     if (child_pos_ >= child_batch_.size()) {
@@ -430,7 +430,7 @@ Result<bool> StreamGroupByOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status StreamGroupByOp::Close(ExecContext* ctx) {
+Status StreamGroupByOp::CloseImpl(ExecContext* ctx) {
   accs_.clear();
   return child_->Close(ctx);
 }
@@ -450,12 +450,12 @@ ScalarAggOp::ScalarAggOp(PhysOpPtr child, std::vector<AggregateDesc> aggs)
       child_(std::move(child)),
       aggs_(std::move(aggs)) {}
 
-Status ScalarAggOp::Open(ExecContext* ctx) {
+Status ScalarAggOp::OpenImpl(ExecContext* ctx) {
   emitted_ = false;
   return child_->Open(ctx);
 }
 
-Result<bool> ScalarAggOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> ScalarAggOp::NextImpl(ExecContext* ctx, Row* out) {
   if (emitted_) return false;
   auto accs = MakeAccumulators(aggs_);
   RowBatch batch(ctx->batch_size());
@@ -472,7 +472,7 @@ Result<bool> ScalarAggOp::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-Status ScalarAggOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+Status ScalarAggOp::CloseImpl(ExecContext* ctx) { return child_->Close(ctx); }
 
 PhysOpPtr StreamGroupByOp::Clone() const {
   return std::make_unique<StreamGroupByOp>(child_->Clone(), key_columns_,
@@ -486,13 +486,13 @@ std::string ScalarAggOp::DebugName() const {
 DistinctOp::DistinctOp(PhysOpPtr child)
     : PhysOp(child->output_schema()), child_(std::move(child)) {}
 
-Status DistinctOp::Open(ExecContext* ctx) {
+Status DistinctOp::OpenImpl(ExecContext* ctx) {
   seen_.clear();
   child_batch_.Clear();
   return child_->Open(ctx);
 }
 
-Result<bool> DistinctOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> DistinctOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     ASSIGN_OR_RETURN(bool has, child_->Next(ctx, out));
     if (!has) return false;
@@ -500,7 +500,7 @@ Result<bool> DistinctOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-Result<bool> DistinctOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> DistinctOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   if (child_batch_.capacity() != out->capacity()) {
     child_batch_ = RowBatch(out->capacity());
@@ -518,7 +518,7 @@ Result<bool> DistinctOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status DistinctOp::Close(ExecContext* ctx) {
+Status DistinctOp::CloseImpl(ExecContext* ctx) {
   seen_.clear();
   return child_->Close(ctx);
 }

@@ -34,15 +34,16 @@ class HashGroupByOp : public PhysOp {
   HashGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
                 std::vector<AggregateDesc> aggs, size_t parallelism = 1);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
 
   size_t parallelism() const { return parallelism_; }
+  size_t profile_dop() const override { return parallelism_; }
   void set_parallelism(size_t dop) { parallelism_ = dop == 0 ? 1 : dop; }
 
   /// Shared with StreamGroupByOp: keys' columns followed by agg outputs.
@@ -76,10 +77,10 @@ class StreamGroupByOp : public PhysOp {
   StreamGroupByOp(PhysOpPtr child, std::vector<int> key_columns,
                   std::vector<AggregateDesc> aggs);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
@@ -117,9 +118,9 @@ class ScalarAggOp : public PhysOp {
  public:
   ScalarAggOp(PhysOpPtr child, std::vector<AggregateDesc> aggs);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
@@ -136,10 +137,10 @@ class DistinctOp : public PhysOp {
  public:
   explicit DistinctOp(PhysOpPtr child);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }

@@ -9,7 +9,7 @@ ApplyOp::ApplyOp(PhysOpPtr outer, PhysOpPtr inner,
       inner_(std::move(inner)),
       cache_inner_(cache_uncorrelated_inner) {}
 
-Status ApplyOp::Open(ExecContext* ctx) {
+Status ApplyOp::OpenImpl(ExecContext* ctx) {
   inner_open_ = false;
   cache_valid_ = false;
   cache_.clear();
@@ -23,7 +23,7 @@ Status ApplyOp::CloseInner(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> ApplyOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> ApplyOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     if (!inner_open_) {
       ASSIGN_OR_RETURN(bool has, outer_->Next(ctx, &current_outer_));
@@ -98,7 +98,7 @@ Result<bool> ApplyOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-Status ApplyOp::Close(ExecContext* ctx) {
+Status ApplyOp::CloseImpl(ExecContext* ctx) {
   if (inner_open_) {
     if (cache_inner_) {
       ctx->eval()->outer_rows.pop_back();
@@ -124,12 +124,12 @@ PhysOpPtr ApplyOp::Clone() const {
 ExistsOp::ExistsOp(PhysOpPtr child, bool negated)
     : PhysOp(Schema()), child_(std::move(child)), negated_(negated) {}
 
-Status ExistsOp::Open(ExecContext* ctx) {
+Status ExistsOp::OpenImpl(ExecContext* ctx) {
   done_ = false;
   return child_->Open(ctx);
 }
 
-Result<bool> ExistsOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> ExistsOp::NextImpl(ExecContext* ctx, Row* out) {
   if (done_) return false;
   done_ = true;
   Row row;
@@ -138,7 +138,7 @@ Result<bool> ExistsOp::Next(ExecContext* ctx, Row* out) {
   return negated_ ? !has : has;
 }
 
-Status ExistsOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+Status ExistsOp::CloseImpl(ExecContext* ctx) { return child_->Close(ctx); }
 
 std::string ExistsOp::DebugName() const {
   return negated_ ? "NotExists" : "Exists";
@@ -189,13 +189,13 @@ Result<PhysOpPtr> UnionAllOp::Make(std::vector<PhysOpPtr> children) {
   return PhysOpPtr(new UnionAllOp(std::move(schema), std::move(children)));
 }
 
-Status UnionAllOp::Open(ExecContext* ctx) {
+Status UnionAllOp::OpenImpl(ExecContext* ctx) {
   current_ = 0;
   if (!children_.empty()) RETURN_NOT_OK(children_[0]->Open(ctx));
   return Status::OK();
 }
 
-Result<bool> UnionAllOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> UnionAllOp::NextImpl(ExecContext* ctx, Row* out) {
   while (current_ < children_.size()) {
     ASSIGN_OR_RETURN(bool has, children_[current_]->Next(ctx, out));
     if (has) return true;
@@ -208,7 +208,7 @@ Result<bool> UnionAllOp::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
-Result<bool> UnionAllOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> UnionAllOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   // Forward the current branch's batches untouched; advance on EOS.
   while (current_ < children_.size()) {
@@ -226,7 +226,7 @@ Result<bool> UnionAllOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return false;
 }
 
-Status UnionAllOp::Close(ExecContext* ctx) {
+Status UnionAllOp::CloseImpl(ExecContext* ctx) {
   // Children at indexes < current_ are already closed by Next.
   if (current_ < children_.size()) {
     RETURN_NOT_OK(children_[current_]->Close(ctx));

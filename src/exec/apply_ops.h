@@ -26,9 +26,9 @@ class ApplyOp : public PhysOp {
   ApplyOp(PhysOpPtr outer, PhysOpPtr inner,
           bool cache_uncorrelated_inner = false);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
@@ -55,9 +55,9 @@ class ExistsOp : public PhysOp {
  public:
   explicit ExistsOp(PhysOpPtr child, bool negated = false);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
@@ -75,10 +75,10 @@ class UnionAllOp : public PhysOp {
  public:
   static Result<PhysOpPtr> Make(std::vector<PhysOpPtr> children);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override;

@@ -52,7 +52,7 @@ ExchangeOp::ExchangeOp(PhysOpPtr child, size_t parallelism,
       parallelism_(std::max<size_t>(1, parallelism)),
       morsel_rows_(std::max<size_t>(1, morsel_rows)) {}
 
-Status ExchangeOp::Open(ExecContext* ctx) {
+Status ExchangeOp::OpenImpl(ExecContext* ctx) {
   passthrough_ = true;
   effective_dop_ = 1;
   worker_rows_.clear();
@@ -160,7 +160,20 @@ Status ExchangeOp::OpenParallel(ExecContext* ctx, TableScanOp* scan) {
   for (WorkerState& w : workers) {
     ctx->counters().MergeFrom(w.ctx.counters());
   }
-  ctx->counters().exchange_partition_ns += NowNs() - t0;
+  const uint64_t partition_ns = NowNs() - t0;
+  ctx->counters().exchange_partition_ns += partition_ns;
+  if (ctx->profiling()) {
+    profile_.AddPhaseNs("partition", partition_ns);
+    uint64_t buffered_rows = 0;
+    for (const std::vector<Row>& slot : slots_) buffered_rows += slot.size();
+    // The worker clones were drained from bare contexts (no profiled
+    // consumer); credit their output to this Exchange so rows_in matches
+    // the merged segment's rows_out.
+    profile_.rows_in += buffered_rows;
+    for (const WorkerState& w : workers) {
+      child_->MergeTreeProfileFrom(*w.segment);
+    }
+  }
 
   const WorkerState* first_failure = nullptr;
   for (const WorkerState& w : workers) {
@@ -173,7 +186,7 @@ Status ExchangeOp::OpenParallel(ExecContext* ctx, TableScanOp* scan) {
   return Status::OK();
 }
 
-Result<bool> ExchangeOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> ExchangeOp::NextImpl(ExecContext* ctx, Row* out) {
   if (passthrough_) {
     ASSIGN_OR_RETURN(bool has, child_->Next(ctx, out));
     if (!has) return false;
@@ -181,12 +194,17 @@ Result<bool> ExchangeOp::Next(ExecContext* ctx, Row* out) {
     return true;
   }
   const uint64_t t0 = NowNs();
+  const auto book_merge_ns = [&] {
+    const uint64_t merge_ns = NowNs() - t0;
+    ctx->counters().exchange_merge_ns += merge_ns;
+    if (ctx->profiling()) profile_.AddPhaseNs("merge", merge_ns);
+  };
   while (current_slot_ < slots_.size()) {
     std::vector<Row>& rows = slots_[current_slot_];
     if (slot_pos_ < rows.size()) {
       *out = std::move(rows[slot_pos_++]);
       ctx->counters().exchange_rows++;
-      ctx->counters().exchange_merge_ns += NowNs() - t0;
+      book_merge_ns();
       return true;
     }
     rows.clear();
@@ -194,11 +212,11 @@ Result<bool> ExchangeOp::Next(ExecContext* ctx, Row* out) {
     ++current_slot_;
     slot_pos_ = 0;
   }
-  ctx->counters().exchange_merge_ns += NowNs() - t0;
+  book_merge_ns();
   return false;
 }
 
-Result<bool> ExchangeOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> ExchangeOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   if (passthrough_) {
     ASSIGN_OR_RETURN(bool has, child_->NextBatch(ctx, out));
     if (!has) return false;
@@ -225,14 +243,16 @@ Result<bool> ExchangeOp::NextBatch(ExecContext* ctx, RowBatch* out) {
       slot_pos_ = 0;
     }
   }
-  ctx->counters().exchange_merge_ns += NowNs() - t0;
+  const uint64_t merge_ns = NowNs() - t0;
+  ctx->counters().exchange_merge_ns += merge_ns;
+  if (ctx->profiling()) profile_.AddPhaseNs("merge", merge_ns);
   if (out->empty()) return false;
   ctx->counters().exchange_rows += out->size();
   RecordBatch(ctx, out->size());
   return true;
 }
 
-Status ExchangeOp::Close(ExecContext* ctx) {
+Status ExchangeOp::CloseImpl(ExecContext* ctx) {
   slots_.clear();
   if (passthrough_) return child_->Close(ctx);
   return Status::OK();

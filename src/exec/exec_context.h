@@ -1,6 +1,7 @@
 #ifndef GAPPLY_EXEC_EXEC_CONTEXT_H_
 #define GAPPLY_EXEC_EXEC_CONTEXT_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -14,6 +15,7 @@
 
 namespace gapply {
 
+class PhysOp;
 class ThreadPool;
 
 /// \brief Per-execution mutable state shared by all operators in a plan.
@@ -65,6 +67,16 @@ class ExecContext {
     uint64_t exchange_merge_ns = 0;
     uint64_t exchange_rows = 0;
 
+    // Per-worker GApply attribution. A parallel GApply worker that claimed
+    // at least one group reports itself as one worker with its busy wall
+    // time; a worker that raced to the cursor and found no group left
+    // reports nothing. gapply_worker_busy_min_ns / _max_ns therefore range
+    // over *participating* workers only — see MergeFrom.
+    uint64_t gapply_workers = 0;
+    uint64_t gapply_worker_busy_ns = 0;      // summed busy time
+    uint64_t gapply_worker_busy_min_ns = 0;  // over participating workers
+    uint64_t gapply_worker_busy_max_ns = 0;
+
     void Reset() { *this = Counters(); }
 
     /// Accumulates `other` into this set of counters. Used to fold
@@ -84,6 +96,22 @@ class ExecContext {
       exchange_partition_ns += other.exchange_partition_ns;
       exchange_merge_ns += other.exchange_merge_ns;
       exchange_rows += other.exchange_rows;
+      // A side with no participating GApply workers must be *skipped*, not
+      // folded in as zeros: naively taking min(min, 0) would erase the
+      // per-phase attribution whenever one worker finished with zero groups
+      // claimed (dop > number of groups), showing a zero minimum busy time
+      // for a worker that never ran a per-group query.
+      if (other.gapply_workers > 0) {
+        gapply_worker_busy_min_ns =
+            gapply_workers == 0
+                ? other.gapply_worker_busy_min_ns
+                : std::min(gapply_worker_busy_min_ns,
+                           other.gapply_worker_busy_min_ns);
+        gapply_worker_busy_max_ns =
+            std::max(gapply_worker_busy_max_ns, other.gapply_worker_busy_max_ns);
+        gapply_workers += other.gapply_workers;
+        gapply_worker_busy_ns += other.gapply_worker_busy_ns;
+      }
     }
   };
 
@@ -96,6 +124,20 @@ class ExecContext {
   /// RowBatch). 1 degenerates to row-at-a-time through the batch API.
   size_t batch_size() const { return batch_size_; }
   void set_batch_size(size_t n) { batch_size_ = n == 0 ? 1 : n; }
+
+  /// Per-operator profiling (EXPLAIN ANALYZE / `SET profile = on`). Off by
+  /// default; the PhysOp entry points check this one flag and fall straight
+  /// through to the operator implementation when it is off, so a disabled
+  /// profiler costs one predictable branch per call (DESIGN.md §12).
+  bool profiling() const { return profiling_; }
+  void set_profiling(bool on) { profiling_ = on; }
+
+  /// Profiler-only stack of operators currently inside their Open/Next/
+  /// NextBatch/Close entry point. The top entry below `this` is the
+  /// operator that pulled, which is how each operator's rows_in is credited
+  /// independently of its children's rows_out (the fuzzer asserts the two
+  /// agree). Only touched when profiling() is on.
+  std::vector<PhysOp*>& profiler_consumers() { return profiler_consumers_; }
 
   /// Shared engine worker pool for parallel operators (GApply phase 2,
   /// Exchange, parallel join build / aggregation), owned by the Database
@@ -143,6 +185,9 @@ class ExecContext {
     child.groups_ = groups_;
     child.batch_size_ = batch_size_;
     child.thread_pool_ = thread_pool_;
+    // The profiling flag is inherited; the consumer stack is not — a worker
+    // starts at the root of its own cloned subplan.
+    child.profiling_ = profiling_;
     return child;
   }
 
@@ -154,6 +199,8 @@ class ExecContext {
   Counters counters_;
   size_t batch_size_ = RowBatch::kDefaultCapacity;
   ThreadPool* thread_pool_ = nullptr;
+  bool profiling_ = false;
+  std::vector<PhysOp*> profiler_consumers_;
 };
 
 }  // namespace gapply

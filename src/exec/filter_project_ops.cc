@@ -9,12 +9,12 @@ FilterOp::FilterOp(PhysOpPtr child, ExprPtr predicate)
       child_(std::move(child)),
       predicate_(std::move(predicate)) {}
 
-Status FilterOp::Open(ExecContext* ctx) {
+Status FilterOp::OpenImpl(ExecContext* ctx) {
   child_batch_.Clear();
   return child_->Open(ctx);
 }
 
-Result<bool> FilterOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> FilterOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     ASSIGN_OR_RETURN(bool has, child_->Next(ctx, out));
     if (!has) return false;
@@ -23,7 +23,7 @@ Result<bool> FilterOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-Result<bool> FilterOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> FilterOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   if (child_batch_.capacity() != out->capacity()) {
     child_batch_ = RowBatch(out->capacity());
@@ -44,7 +44,7 @@ Result<bool> FilterOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status FilterOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+Status FilterOp::CloseImpl(ExecContext* ctx) { return child_->Close(ctx); }
 
 std::string FilterOp::DebugName() const {
   return "Filter(" + predicate_->ToString() + ")";
@@ -73,12 +73,12 @@ Result<PhysOpPtr> ProjectOp::Make(PhysOpPtr child, std::vector<ExprPtr> exprs,
       new ProjectOp(std::move(schema), std::move(child), std::move(exprs)));
 }
 
-Status ProjectOp::Open(ExecContext* ctx) {
+Status ProjectOp::OpenImpl(ExecContext* ctx) {
   child_batch_.Clear();
   return child_->Open(ctx);
 }
 
-Result<bool> ProjectOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> ProjectOp::NextImpl(ExecContext* ctx, Row* out) {
   Row in;
   ASSIGN_OR_RETURN(bool has, child_->Next(ctx, &in));
   if (!has) return false;
@@ -91,7 +91,7 @@ Result<bool> ProjectOp::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-Result<bool> ProjectOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> ProjectOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   if (child_batch_.capacity() != out->capacity()) {
     child_batch_ = RowBatch(out->capacity());
@@ -117,7 +117,7 @@ Result<bool> ProjectOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status ProjectOp::Close(ExecContext* ctx) { return child_->Close(ctx); }
+Status ProjectOp::CloseImpl(ExecContext* ctx) { return child_->Close(ctx); }
 
 std::string ProjectOp::DebugName() const {
   std::string out = "Project(";
@@ -154,7 +154,7 @@ SortOp::SortOp(PhysOpPtr child, std::vector<SortKey> keys)
       child_(std::move(child)),
       keys_(std::move(keys)) {}
 
-Status SortOp::Open(ExecContext* ctx) {
+Status SortOp::OpenImpl(ExecContext* ctx) {
   rows_.clear();
   pos_ = 0;
   RETURN_NOT_OK(child_->Open(ctx));
@@ -179,13 +179,13 @@ Status SortOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> SortOp::Next(ExecContext*, Row* out) {
+Result<bool> SortOp::NextImpl(ExecContext*, Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
 }
 
-Result<bool> SortOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> SortOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   if (pos_ >= rows_.size()) return false;
   const size_t n = std::min(out->capacity(), rows_.size() - pos_);
@@ -197,7 +197,7 @@ Result<bool> SortOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status SortOp::Close(ExecContext*) {
+Status SortOp::CloseImpl(ExecContext*) {
   rows_.clear();
   return Status::OK();
 }

@@ -14,10 +14,10 @@ class FilterOp : public PhysOp {
  public:
   FilterOp(PhysOpPtr child, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
@@ -40,10 +40,10 @@ class ProjectOp : public PhysOp {
   static Result<PhysOpPtr> Make(PhysOpPtr child, std::vector<ExprPtr> exprs,
                                 std::vector<std::string> names);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }
@@ -76,10 +76,10 @@ class SortOp : public PhysOp {
  public:
   SortOp(PhysOpPtr child, std::vector<SortKey> keys);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override { return {child_.get()}; }

@@ -184,7 +184,9 @@ Status GApplyOp::OpenGroup(ExecContext* ctx) {
 }
 
 Status GApplyOp::CloseGroup(ExecContext* ctx) {
-  ctx->counters().gapply_pgq_ns += NowNs() - group_open_ns_;
+  const uint64_t group_ns = NowNs() - group_open_ns_;
+  ctx->counters().gapply_pgq_ns += group_ns;
+  if (ctx->profiling()) profile_.AddPhaseNs("per_group_query", group_ns);
   RETURN_NOT_OK(pgq_->Close(ctx));
   RETURN_NOT_OK(ctx->UnbindGroup(var_name_));
   group_open_ = false;
@@ -232,6 +234,7 @@ Status GApplyOp::ExecuteGroupsParallel(ExecContext* ctx) {
     Status error = Status::OK();
     size_t error_group = 0;
     bool failed = false;
+    size_t groups_claimed = 0;
   };
   std::vector<WorkerState> workers(dop);
   for (WorkerState& w : workers) {
@@ -253,9 +256,11 @@ Status GApplyOp::ExecuteGroupsParallel(ExecContext* ctx) {
   for (size_t w = 0; w < dop; ++w) {
     tasks.push_back([this, &workers, &next_group, &abort, w] {
       WorkerState& ws = workers[w];
+      const uint64_t busy_start = NowNs();
       while (!abort.load(std::memory_order_relaxed)) {
         const size_t g = next_group.fetch_add(1, std::memory_order_relaxed);
         if (g >= groups_.size()) break;
+        ws.groups_claimed++;
         Status st = ExecuteOneGroup(ws.pgq.get(), &ws.ctx, g,
                                     &group_outputs_[g]);
         if (!st.ok()) {
@@ -266,12 +271,37 @@ Status GApplyOp::ExecuteGroupsParallel(ExecContext* ctx) {
           break;
         }
       }
+      // Per-worker attribution: only a worker that actually claimed a
+      // group reports itself. A worker that lost every race to the group
+      // cursor must be skipped entirely — folding it in as a zero would
+      // collapse the min-busy attribution to 0 (see Counters::MergeFrom).
+      if (ws.groups_claimed > 0) {
+        ExecContext::Counters busy;
+        busy.gapply_workers = 1;
+        busy.gapply_worker_busy_ns = NowNs() - busy_start;
+        busy.gapply_worker_busy_min_ns = busy.gapply_worker_busy_ns;
+        busy.gapply_worker_busy_max_ns = busy.gapply_worker_busy_ns;
+        ws.ctx.counters().MergeFrom(busy);
+      }
     });
   }
   RunTaskGroup(ctx->thread_pool(), std::move(tasks));
 
   for (WorkerState& w : workers) {
     ctx->counters().MergeFrom(w.ctx.counters());
+  }
+  if (ctx->profiling()) {
+    uint64_t pgq_rows = 0;
+    for (const std::vector<Row>& rows : group_outputs_) {
+      pgq_rows += rows.size();
+    }
+    // The clones' output had no profiled consumer (workers drain them from
+    // a bare context); credit it to this operator so rows_in stays equal to
+    // the children's merged rows_out.
+    profile_.rows_in += pgq_rows;
+    for (const WorkerState& w : workers) {
+      if (w.groups_claimed > 0) pgq_->MergeTreeProfileFrom(*w.pgq);
+    }
   }
 
   // Deterministic error selection: among the workers that failed, surface
@@ -287,7 +317,7 @@ Status GApplyOp::ExecuteGroupsParallel(ExecContext* ctx) {
   return Status::OK();
 }
 
-Status GApplyOp::Open(ExecContext* ctx) {
+Status GApplyOp::OpenImpl(ExecContext* ctx) {
   current_group_ = 0;
   output_pos_ = 0;
   group_open_ = false;
@@ -297,19 +327,23 @@ Status GApplyOp::Open(ExecContext* ctx) {
 
   const uint64_t t0 = NowNs();
   RETURN_NOT_OK(Partition(ctx));
-  ctx->counters().gapply_partition_ns += NowNs() - t0;
+  const uint64_t partition_ns = NowNs() - t0;
+  ctx->counters().gapply_partition_ns += partition_ns;
+  if (ctx->profiling()) profile_.AddPhaseNs("partition", partition_ns);
 
   if (parallelism_ > 1 && groups_.size() > 1) {
     parallel_exec_ = true;
     const uint64_t t1 = NowNs();
     Status st = ExecuteGroupsParallel(ctx);
-    ctx->counters().gapply_pgq_ns += NowNs() - t1;
+    const uint64_t pgq_ns = NowNs() - t1;
+    ctx->counters().gapply_pgq_ns += pgq_ns;
+    if (ctx->profiling()) profile_.AddPhaseNs("per_group_query", pgq_ns);
     RETURN_NOT_OK(st);
   }
   return Status::OK();
 }
 
-Result<bool> GApplyOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> GApplyOp::NextImpl(ExecContext* ctx, Row* out) {
   if (parallel_exec_) {
     while (current_group_ < group_outputs_.size()) {
       std::vector<Row>& rows = group_outputs_[current_group_];
@@ -344,7 +378,7 @@ Result<bool> GApplyOp::Next(ExecContext* ctx, Row* out) {
   return false;
 }
 
-Result<bool> GApplyOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> GApplyOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
 
   if (parallel_exec_) {
@@ -399,7 +433,7 @@ Result<bool> GApplyOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status GApplyOp::Close(ExecContext* ctx) {
+Status GApplyOp::CloseImpl(ExecContext* ctx) {
   if (group_open_) RETURN_NOT_OK(CloseGroup(ctx));
   group_keys_.clear();
   groups_.clear();

@@ -48,10 +48,10 @@ class GApplyOp : public PhysOp {
            std::string var_name, PhysOpPtr pgq,
            PartitionMode mode = PartitionMode::kHash, size_t parallelism = 1);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
@@ -59,6 +59,7 @@ class GApplyOp : public PhysOp {
   }
 
   size_t parallelism() const { return parallelism_; }
+  size_t profile_dop() const override { return parallelism_; }
 
  private:
   Status Partition(ExecContext* ctx);

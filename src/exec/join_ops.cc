@@ -127,7 +127,7 @@ const HashJoinOp::HashTable& HashJoinOp::TableFor(const Row& key) const {
   return shard_tables_[RowHash{}(key) % shard_tables_.size()];
 }
 
-Status HashJoinOp::Open(ExecContext* ctx) {
+Status HashJoinOp::OpenImpl(ExecContext* ctx) {
   table_.clear();
   shard_tables_.clear();
   build_rows_.clear();
@@ -160,7 +160,7 @@ Status HashJoinOp::Open(ExecContext* ctx) {
   return left_->Open(ctx);
 }
 
-Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> HashJoinOp::NextImpl(ExecContext* ctx, Row* out) {
   Row key;
   while (true) {
     if (!have_left_) {
@@ -187,7 +187,7 @@ Result<bool> HashJoinOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> HashJoinOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   if (probe_batch_.capacity() != out->capacity()) {
     probe_batch_ = RowBatch(out->capacity());
@@ -218,7 +218,7 @@ Result<bool> HashJoinOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status HashJoinOp::Close(ExecContext* ctx) {
+Status HashJoinOp::CloseImpl(ExecContext* ctx) {
   table_.clear();
   shard_tables_.clear();
   build_rows_.clear();
@@ -243,7 +243,7 @@ NestedLoopJoinOp::NestedLoopJoinOp(PhysOpPtr left, PhysOpPtr right,
       right_(std::move(right)),
       predicate_(std::move(predicate)) {}
 
-Status NestedLoopJoinOp::Open(ExecContext* ctx) {
+Status NestedLoopJoinOp::OpenImpl(ExecContext* ctx) {
   right_rows_.clear();
   have_left_ = false;
   right_pos_ = 0;
@@ -260,7 +260,7 @@ Status NestedLoopJoinOp::Open(ExecContext* ctx) {
   return left_->Open(ctx);
 }
 
-Result<bool> NestedLoopJoinOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> NestedLoopJoinOp::NextImpl(ExecContext* ctx, Row* out) {
   while (true) {
     if (!have_left_) {
       ASSIGN_OR_RETURN(bool has, left_->Next(ctx, &current_left_));
@@ -281,7 +281,7 @@ Result<bool> NestedLoopJoinOp::Next(ExecContext* ctx, Row* out) {
   }
 }
 
-Status NestedLoopJoinOp::Close(ExecContext* ctx) {
+Status NestedLoopJoinOp::CloseImpl(ExecContext* ctx) {
   right_rows_.clear();
   return left_->Close(ctx);
 }

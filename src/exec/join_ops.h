@@ -39,10 +39,10 @@ class HashJoinOp : public PhysOp {
              std::vector<int> right_keys, ExprPtr residual = nullptr,
              size_t parallelism = 1, bool null_safe = false);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {
@@ -50,6 +50,7 @@ class HashJoinOp : public PhysOp {
   }
 
   size_t parallelism() const { return parallelism_; }
+  size_t profile_dop() const override { return parallelism_; }
   /// Lowering demotes the build to serial when this join ends up inside an
   /// Exchange segment (each worker clone already builds its own table).
   void set_parallelism(size_t dop) { parallelism_ = dop == 0 ? 1 : dop; }
@@ -87,9 +88,9 @@ class NestedLoopJoinOp : public PhysOp {
  public:
   NestedLoopJoinOp(PhysOpPtr left, PhysOpPtr right, ExprPtr predicate);
 
-  Status Open(ExecContext* ctx) override;
-  Result<bool> Next(ExecContext* ctx, Row* out) override;
-  Status Close(ExecContext* ctx) override;
+  Status OpenImpl(ExecContext* ctx) override;
+  Result<bool> NextImpl(ExecContext* ctx, Row* out) override;
+  Status CloseImpl(ExecContext* ctx) override;
   std::string DebugName() const override;
   PhysOpPtr Clone() const override;
   std::vector<const PhysOp*> children() const override {

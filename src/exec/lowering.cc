@@ -46,12 +46,15 @@ PhysOpPtr MaybeWrapExchange(PhysOpPtr op, const LoweringOptions& opts,
                                       opts.exchange_morsel_rows);
 }
 
+Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
+                        size_t exchange_dop);
+
 /// `exchange_dop` is the morsel-parallelism budget of the current plan
 /// region: the caller's knob at the top, forced to 1 inside subplans that
 /// are re-opened per row or per group (Apply inner, Exists input, GApply
 /// PGQ), where a per-open parallel fan-out would thrash.
-Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
-                        size_t exchange_dop) {
+Result<PhysOpPtr> LowerNode(const LogicalOp& node, const LoweringOptions& opts,
+                            size_t exchange_dop) {
   switch (node.type()) {
     case LogicalOpType::kScan: {
       const auto& scan = static_cast<const LogicalScan&>(node);
@@ -167,6 +170,18 @@ Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
     }
   }
   return Status::Internal("unknown logical operator in lowering");
+}
+
+Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
+                        size_t exchange_dop) {
+  ASSIGN_OR_RETURN(PhysOpPtr op, LowerNode(node, opts, exchange_dop));
+  if (opts.cost_model != nullptr) {
+    // Best-effort: estimation failures (unpriceable subtrees) simply leave
+    // the operator unstamped; they must not fail the lowering.
+    Result<PlanEstimate> est = opts.cost_model->Estimate(node);
+    if (est.ok()) op->set_estimated_rows(est->rows);
+  }
+  return op;
 }
 
 }  // namespace

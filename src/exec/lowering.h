@@ -4,6 +4,7 @@
 #include <optional>
 
 #include "src/exec/physical_op.h"
+#include "src/optimizer/cost_model.h"
 #include "src/plan/logical_plan.h"
 
 namespace gapply {
@@ -37,6 +38,14 @@ struct LoweringOptions {
   /// Rows per morsel for inserted Exchanges
   /// (ExchangeOp::kDefaultMorselRows).
   size_t exchange_morsel_rows = 8192;
+
+  /// When set, every lowered operator is stamped with the cost model's
+  /// cardinality estimate for its logical source node
+  /// (PhysOp::set_estimated_rows), so EXPLAIN ANALYZE can print estimated
+  /// vs. actual rows. Nodes the estimator cannot price (e.g. a GroupScan
+  /// outside its group environment) are left unstamped. Non-owning; must
+  /// outlive the LowerPlan call.
+  const CostModel* cost_model = nullptr;
 };
 
 /// Translates a logical plan into an executable physical plan. The logical

@@ -1,12 +1,117 @@
 #include "src/exec/physical_op.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
 #include <unordered_map>
 
 #include "src/common/string_util.h"
 
 namespace gapply {
+
+namespace {
+
+uint64_t ProfileNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+void OpRuntimeProfile::AddPhaseNs(const std::string& name, uint64_t ns) {
+  for (auto& phase : phases) {
+    if (phase.first == name) {
+      phase.second += ns;
+      return;
+    }
+  }
+  phases.emplace_back(name, ns);
+}
+
+void OpRuntimeProfile::MergeFrom(const OpRuntimeProfile& other) {
+  opens += other.opens;
+  next_calls += other.next_calls;
+  batch_calls += other.batch_calls;
+  rows_out += other.rows_out;
+  batches_out += other.batches_out;
+  rows_in += other.rows_in;
+  open_ns += other.open_ns;
+  next_ns += other.next_ns;
+  close_ns += other.close_ns;
+  workers_merged += other.workers_merged == 0 ? 1 : other.workers_merged;
+  for (const auto& phase : other.phases) {
+    AddPhaseNs(phase.first, phase.second);
+  }
+}
+
+void PhysOp::MergeTreeProfileFrom(const PhysOp& other) {
+  profile_.MergeFrom(other.profile_);
+  const std::vector<const PhysOp*> mine = children();
+  const std::vector<const PhysOp*> theirs = other.children();
+  const size_t n = std::min(mine.size(), theirs.size());
+  for (size_t i = 0; i < n; ++i) {
+    // children() hands out const views of operators this node owns and
+    // mutates freely elsewhere; shedding constness on our own children to
+    // fold the clone's numbers in is safe.
+    const_cast<PhysOp*>(mine[i])->MergeTreeProfileFrom(*theirs[i]);
+  }
+}
+
+Status PhysOp::ProfiledOpen(ExecContext* ctx) {
+  profile_.opens++;
+  std::vector<PhysOp*>& consumers = ctx->profiler_consumers();
+  consumers.push_back(this);
+  const uint64_t t0 = ProfileNowNs();
+  Status st = OpenImpl(ctx);
+  profile_.open_ns += ProfileNowNs() - t0;
+  consumers.pop_back();
+  return st;
+}
+
+Result<bool> PhysOp::ProfiledNext(ExecContext* ctx, Row* out) {
+  profile_.next_calls++;
+  std::vector<PhysOp*>& consumers = ctx->profiler_consumers();
+  PhysOp* consumer = consumers.empty() ? nullptr : consumers.back();
+  consumers.push_back(this);
+  const uint64_t t0 = ProfileNowNs();
+  Result<bool> produced = NextImpl(ctx, out);
+  profile_.next_ns += ProfileNowNs() - t0;
+  ctx->profiler_consumers().pop_back();
+  if (produced.ok() && *produced) {
+    profile_.rows_out++;
+    if (consumer != nullptr) consumer->profile_.rows_in++;
+  }
+  return produced;
+}
+
+Result<bool> PhysOp::ProfiledNextBatch(ExecContext* ctx, RowBatch* out) {
+  profile_.batch_calls++;
+  std::vector<PhysOp*>& consumers = ctx->profiler_consumers();
+  PhysOp* consumer = consumers.empty() ? nullptr : consumers.back();
+  consumers.push_back(this);
+  const uint64_t t0 = ProfileNowNs();
+  Result<bool> produced = NextBatchImpl(ctx, out);
+  profile_.next_ns += ProfileNowNs() - t0;
+  ctx->profiler_consumers().pop_back();
+  if (produced.ok() && *produced) {
+    profile_.rows_out += out->size();
+    profile_.batches_out++;
+    if (consumer != nullptr) consumer->profile_.rows_in += out->size();
+  }
+  return produced;
+}
+
+Status PhysOp::ProfiledClose(ExecContext* ctx) {
+  std::vector<PhysOp*>& consumers = ctx->profiler_consumers();
+  consumers.push_back(this);
+  const uint64_t t0 = ProfileNowNs();
+  Status st = CloseImpl(ctx);
+  profile_.close_ns += ProfileNowNs() - t0;
+  consumers.pop_back();
+  return st;
+}
 
 std::string PhysOp::DebugString(int indent) const {
   std::string out = Repeat("  ", indent) + DebugName() + "\n";
@@ -38,11 +143,13 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
-Result<bool> PhysOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> PhysOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   out->Clear();
   Row row;
   while (!out->full()) {
-    auto next = Next(ctx, &row);
+    // Calls NextImpl directly (not the Next entry point) so the adapter's
+    // rows are not double-counted by the profiler.
+    auto next = NextImpl(ctx, &row);
     if (!next.ok()) return next.status();
     if (!*next) break;
     out->Add(std::move(row));

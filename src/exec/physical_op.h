@@ -12,6 +12,44 @@
 
 namespace gapply {
 
+/// Per-operator runtime profile, collected by the non-virtual PhysOp entry
+/// points while `ExecContext::profiling()` is on. All time fields are
+/// *cumulative* (inclusive of children): the scoped timer around OpenImpl /
+/// NextImpl / NextBatchImpl / CloseImpl also covers the child pulls those
+/// implementations issue. Self time is derived at snapshot time
+/// (profile.h) as cumulative minus the children's cumulative.
+///
+/// Parallel operators execute deep clones of a subtree on workers; their
+/// clones' profiles are folded back into the template subtree with
+/// PhysOp::MergeTreeProfileFrom, bumping workers_merged. A merged subtree's
+/// cumulative time is summed worker *busy* time and may legitimately exceed
+/// its parent's wall-clock time.
+struct OpRuntimeProfile {
+  uint64_t opens = 0;
+  uint64_t next_calls = 0;
+  uint64_t batch_calls = 0;
+  uint64_t rows_out = 0;
+  uint64_t batches_out = 0;
+  /// Rows this operator pulled from its children (credited by the child's
+  /// entry point to the operator that called it, so it is measured
+  /// independently of the children's rows_out).
+  uint64_t rows_in = 0;
+  uint64_t open_ns = 0;
+  uint64_t next_ns = 0;  // Next and NextBatch combined
+  uint64_t close_ns = 0;
+  /// Number of worker-clone profiles folded into this node (0 = executed
+  /// in place, serially).
+  uint64_t workers_merged = 0;
+  /// Named per-phase attribution (e.g. GApply "partition" /
+  /// "per_group_query", Exchange "partition" / "merge"), in nanoseconds.
+  std::vector<std::pair<std::string, uint64_t>> phases;
+
+  uint64_t cumulative_ns() const { return open_ns + next_ns + close_ns; }
+
+  void AddPhaseNs(const std::string& name, uint64_t ns);
+  void MergeFrom(const OpRuntimeProfile& other);
+};
+
 /// \brief Base class for Volcano-style physical operators.
 ///
 /// Contract:
@@ -52,16 +90,48 @@ class PhysOp {
   PhysOp(const PhysOp&) = delete;
   PhysOp& operator=(const PhysOp&) = delete;
 
-  virtual Status Open(ExecContext* ctx) = 0;
-  virtual Result<bool> Next(ExecContext* ctx, Row* out) = 0;
-  virtual Status Close(ExecContext* ctx) = 0;
-
-  /// Fills `*out` with the next batch of rows; see the class contract. The
-  /// base implementation adapts `Next` (correct for every operator);
-  /// hot operators override it with native batch paths.
-  virtual Result<bool> NextBatch(ExecContext* ctx, RowBatch* out);
+  /// The four execution entry points are non-virtual: they dispatch to the
+  /// protected *Impl virtuals, and when `ctx->profiling()` is on they wrap
+  /// the call in a scoped timer plus row accounting (see OpRuntimeProfile).
+  /// With profiling off the wrapper is a single branch.
+  Status Open(ExecContext* ctx) {
+    if (!ctx->profiling()) return OpenImpl(ctx);
+    return ProfiledOpen(ctx);
+  }
+  Result<bool> Next(ExecContext* ctx, Row* out) {
+    if (!ctx->profiling()) return NextImpl(ctx, out);
+    return ProfiledNext(ctx, out);
+  }
+  /// Fills `*out` with the next batch of rows; see the class contract.
+  Result<bool> NextBatch(ExecContext* ctx, RowBatch* out) {
+    if (!ctx->profiling()) return NextBatchImpl(ctx, out);
+    return ProfiledNextBatch(ctx, out);
+  }
+  Status Close(ExecContext* ctx) {
+    if (!ctx->profiling()) return CloseImpl(ctx);
+    return ProfiledClose(ctx);
+  }
 
   const BatchStats& batch_stats() const { return batch_stats_; }
+
+  const OpRuntimeProfile& runtime_profile() const { return profile_; }
+  OpRuntimeProfile* mutable_runtime_profile() { return &profile_; }
+
+  /// Folds the runtime profile of `other` — a structurally identical Clone
+  /// of this operator tree that a parallel worker executed — into this
+  /// tree, node by node. Called after the workers have been joined, so no
+  /// synchronization is needed.
+  void MergeTreeProfileFrom(const PhysOp& other);
+
+  /// Optimizer cardinality estimate for this operator's output, stamped
+  /// during lowering when a cost model is supplied (negative = unknown).
+  /// EXPLAIN ANALYZE prints it next to the actual row count.
+  double estimated_rows() const { return estimated_rows_; }
+  void set_estimated_rows(double rows) { estimated_rows_ = rows; }
+
+  /// Degree of parallelism this operator was configured with (1 for serial
+  /// operators). Surfaced per node by the profiler.
+  virtual size_t profile_dop() const { return 1; }
 
   /// Deep copy of the operator tree in its *pre-Open* configuration:
   /// children and expressions are cloned, runtime state (cursors, hash
@@ -83,6 +153,14 @@ class PhysOp {
   std::string DebugString(int indent = 0) const;
 
  protected:
+  virtual Status OpenImpl(ExecContext* ctx) = 0;
+  virtual Result<bool> NextImpl(ExecContext* ctx, Row* out) = 0;
+  virtual Status CloseImpl(ExecContext* ctx) = 0;
+
+  /// The base implementation adapts `NextImpl` (correct for every
+  /// operator); hot operators override it with native batch paths.
+  virtual Result<bool> NextBatchImpl(ExecContext* ctx, RowBatch* out);
+
   /// Books a produced batch into the context counters and this operator's
   /// stats. Every NextBatch implementation calls it before returning true.
   void RecordBatch(ExecContext* ctx, size_t rows) {
@@ -94,6 +172,15 @@ class PhysOp {
 
   Schema schema_;
   BatchStats batch_stats_;
+  OpRuntimeProfile profile_;
+
+ private:
+  Status ProfiledOpen(ExecContext* ctx);
+  Result<bool> ProfiledNext(ExecContext* ctx, Row* out);
+  Result<bool> ProfiledNextBatch(ExecContext* ctx, RowBatch* out);
+  Status ProfiledClose(ExecContext* ctx);
+
+  double estimated_rows_ = -1.0;
 };
 
 using PhysOpPtr = std::unique_ptr<PhysOp>;

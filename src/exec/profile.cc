@@ -1,0 +1,180 @@
+#include "src/exec/profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "src/common/string_util.h"
+
+namespace gapply {
+
+namespace {
+
+std::string FormatMs(uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3fms",
+                static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string FormatEstRows(double est) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", est);
+  return buf;
+}
+
+void RenderTo(const ProfileNode& node, const ProfileRenderOptions& options,
+              int indent, std::string* out) {
+  *out += Repeat("  ", indent) + node.name;
+  *out += " rows=" + std::to_string(node.profile.rows_out);
+  if (node.estimated_rows >= 0) {
+    *out += " est=" + FormatEstRows(node.estimated_rows);
+  }
+  if (node.dop > 1) *out += " dop=" + std::to_string(node.dop);
+  if (options.show_timings) {
+    *out += "  [total=" + FormatMs(node.profile.cumulative_ns()) +
+            " self=" + FormatMs(node.self_ns) +
+            " open=" + FormatMs(node.profile.open_ns) +
+            " next=" + FormatMs(node.profile.next_ns) +
+            " close=" + FormatMs(node.profile.close_ns);
+    *out += " rows_in=" + std::to_string(node.profile.rows_in);
+    if (node.profile.batches_out > 0) {
+      *out += " batches=" + std::to_string(node.profile.batches_out);
+    }
+    *out += " calls=" +
+            std::to_string(node.profile.next_calls + node.profile.batch_calls);
+    if (node.profile.workers_merged > 0) {
+      *out += " workers=" + std::to_string(node.profile.workers_merged);
+    }
+    *out += "]";
+    if (!node.profile.phases.empty()) {
+      *out += "\n" + Repeat("  ", indent) + "  phases:";
+      for (const auto& phase : node.profile.phases) {
+        *out += " " + phase.first + "=" + FormatMs(phase.second);
+      }
+    }
+  }
+  *out += "\n";
+  for (const ProfileNode& child : node.children) {
+    RenderTo(child, options, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+ProfileNode CollectProfile(const PhysOp& root) {
+  ProfileNode node;
+  node.name = root.DebugName();
+  node.dop = root.profile_dop();
+  node.estimated_rows = root.estimated_rows();
+  node.profile = root.runtime_profile();
+  uint64_t children_cumulative = 0;
+  for (const PhysOp* child : root.children()) {
+    node.children.push_back(CollectProfile(*child));
+    children_cumulative += node.children.back().profile.cumulative_ns();
+  }
+  const uint64_t cumulative = node.profile.cumulative_ns();
+  node.self_ns =
+      cumulative > children_cumulative ? cumulative - children_cumulative : 0;
+  return node;
+}
+
+std::string RenderProfileText(const ProfileNode& node,
+                              const ProfileRenderOptions& options) {
+  std::string out;
+  RenderTo(node, options, 0, &out);
+  return out;
+}
+
+JsonValue ProfileToJson(const ProfileNode& node) {
+  JsonValue obj = JsonValue::Object();
+  obj.Set("op", JsonValue::Str(node.name));
+  obj.Set("dop", JsonValue::Int(static_cast<int64_t>(node.dop)));
+  if (node.estimated_rows >= 0) {
+    obj.Set("estimated_rows", JsonValue::Double(node.estimated_rows));
+  }
+  obj.Set("rows_out", JsonValue::Int(static_cast<int64_t>(node.profile.rows_out)));
+  obj.Set("rows_in", JsonValue::Int(static_cast<int64_t>(node.profile.rows_in)));
+  obj.Set("batches_out",
+          JsonValue::Int(static_cast<int64_t>(node.profile.batches_out)));
+  obj.Set("opens", JsonValue::Int(static_cast<int64_t>(node.profile.opens)));
+  obj.Set("next_calls",
+          JsonValue::Int(static_cast<int64_t>(node.profile.next_calls)));
+  obj.Set("batch_calls",
+          JsonValue::Int(static_cast<int64_t>(node.profile.batch_calls)));
+  obj.Set("workers_merged",
+          JsonValue::Int(static_cast<int64_t>(node.profile.workers_merged)));
+  obj.Set("total_ns",
+          JsonValue::Int(static_cast<int64_t>(node.profile.cumulative_ns())));
+  obj.Set("self_ns", JsonValue::Int(static_cast<int64_t>(node.self_ns)));
+  obj.Set("open_ns", JsonValue::Int(static_cast<int64_t>(node.profile.open_ns)));
+  obj.Set("next_ns", JsonValue::Int(static_cast<int64_t>(node.profile.next_ns)));
+  obj.Set("close_ns",
+          JsonValue::Int(static_cast<int64_t>(node.profile.close_ns)));
+  JsonValue phases = JsonValue::Object();
+  for (const auto& phase : node.profile.phases) {
+    phases.Set(phase.first, JsonValue::Int(static_cast<int64_t>(phase.second)));
+  }
+  obj.Set("phases", std::move(phases));
+  JsonValue children = JsonValue::Array();
+  for (const ProfileNode& child : node.children) {
+    children.Append(ProfileToJson(child));
+  }
+  obj.Set("children", std::move(children));
+  return obj;
+}
+
+JsonValue CollectProfileJson(const PhysOp& root) {
+  return ProfileToJson(CollectProfile(root));
+}
+
+namespace {
+
+bool SubtreeMergedWorkers(const ProfileNode& node) {
+  if (node.profile.workers_merged > 0) return true;
+  for (const ProfileNode& child : node.children) {
+    if (SubtreeMergedWorkers(child)) return true;
+  }
+  return false;
+}
+
+Status ValidateNode(const ProfileNode& node) {
+  uint64_t children_rows_out = 0;
+  uint64_t children_cumulative = 0;
+  bool children_merged = node.profile.workers_merged > 0;
+  for (const ProfileNode& child : node.children) {
+    children_rows_out += child.profile.rows_out;
+    children_cumulative += child.profile.cumulative_ns();
+    if (SubtreeMergedWorkers(child)) children_merged = true;
+  }
+  if (!node.children.empty() && node.profile.rows_in != children_rows_out) {
+    return Status::Internal(
+        "profile invariant violated at " + node.name + ": rows_in=" +
+        std::to_string(node.profile.rows_in) +
+        " != sum of children rows_out=" + std::to_string(children_rows_out));
+  }
+  if (node.profile.cumulative_ns() < node.self_ns) {
+    return Status::Internal("profile invariant violated at " + node.name +
+                            ": cumulative < self time");
+  }
+  // Worker-clone merges book summed busy time into the merged subtree,
+  // which may exceed the enclosing node's wall-clock span — only enforce
+  // time nesting on purely serial subtrees.
+  if (!children_merged &&
+      node.profile.cumulative_ns() < children_cumulative) {
+    return Status::Internal(
+        "profile invariant violated at " + node.name + ": cumulative=" +
+        std::to_string(node.profile.cumulative_ns()) +
+        "ns < children cumulative=" + std::to_string(children_cumulative) +
+        "ns");
+  }
+  for (const ProfileNode& child : node.children) {
+    RETURN_NOT_OK(ValidateNode(child));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateProfile(const ProfileNode& root) { return ValidateNode(root); }
+
+}  // namespace gapply

@@ -29,7 +29,7 @@ TableScanOp::TableScanOp(const Table* table, std::string alias)
       table_(table),
       alias_(std::move(alias)) {}
 
-Status TableScanOp::Open(ExecContext*) {
+Status TableScanOp::OpenImpl(ExecContext*) {
   pos_ = 0;
   end_ = morsel_mode_ ? 0 : table_->num_rows();
   return Status::OK();
@@ -40,21 +40,21 @@ void TableScanOp::SetMorsel(size_t begin, size_t end) {
   end_ = std::min(end, table_->num_rows());
 }
 
-Result<bool> TableScanOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
   if (pos_ >= end_) return false;
   *out = table_->rows()[pos_++];
   ctx->counters().rows_scanned++;
   return true;
 }
 
-Result<bool> TableScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> TableScanOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   if (!ScanIntoBatch(table_->rows(), &pos_, end_, out)) return false;
   ctx->counters().rows_scanned += out->size();
   RecordBatch(ctx, out->size());
   return true;
 }
 
-Status TableScanOp::Close(ExecContext*) { return Status::OK(); }
+Status TableScanOp::CloseImpl(ExecContext*) { return Status::OK(); }
 
 std::string TableScanOp::DebugName() const {
   std::string out = "TableScan(" + table_->name();
@@ -70,7 +70,7 @@ PhysOpPtr TableScanOp::Clone() const {
 GroupScanOp::GroupScanOp(std::string var_name, Schema schema)
     : PhysOp(std::move(schema)), var_name_(std::move(var_name)) {}
 
-Status GroupScanOp::Open(ExecContext* ctx) {
+Status GroupScanOp::OpenImpl(ExecContext* ctx) {
   ASSIGN_OR_RETURN(auto binding, ctx->GetGroup(var_name_));
   const Schema* bound_schema = binding.first;
   if (bound_schema->num_columns() != schema_.num_columns()) {
@@ -84,7 +84,7 @@ Status GroupScanOp::Open(ExecContext* ctx) {
   return Status::OK();
 }
 
-Result<bool> GroupScanOp::Next(ExecContext* ctx, Row* out) {
+Result<bool> GroupScanOp::NextImpl(ExecContext* ctx, Row* out) {
   if (rows_ == nullptr) return Status::Internal("GroupScan not opened");
   if (pos_ >= rows_->size()) return false;
   *out = (*rows_)[pos_++];
@@ -92,7 +92,7 @@ Result<bool> GroupScanOp::Next(ExecContext* ctx, Row* out) {
   return true;
 }
 
-Result<bool> GroupScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> GroupScanOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   if (rows_ == nullptr) return Status::Internal("GroupScan not opened");
   if (!ScanIntoBatch(*rows_, &pos_, rows_->size(), out)) return false;
   ctx->counters().group_rows_scanned += out->size();
@@ -100,7 +100,7 @@ Result<bool> GroupScanOp::NextBatch(ExecContext* ctx, RowBatch* out) {
   return true;
 }
 
-Status GroupScanOp::Close(ExecContext*) {
+Status GroupScanOp::CloseImpl(ExecContext*) {
   rows_ = nullptr;
   return Status::OK();
 }
@@ -116,24 +116,24 @@ PhysOpPtr GroupScanOp::Clone() const {
 ValuesOp::ValuesOp(Schema schema, std::vector<Row> rows)
     : PhysOp(std::move(schema)), rows_(std::move(rows)) {}
 
-Status ValuesOp::Open(ExecContext*) {
+Status ValuesOp::OpenImpl(ExecContext*) {
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> ValuesOp::Next(ExecContext*, Row* out) {
+Result<bool> ValuesOp::NextImpl(ExecContext*, Row* out) {
   if (pos_ >= rows_.size()) return false;
   *out = rows_[pos_++];
   return true;
 }
 
-Result<bool> ValuesOp::NextBatch(ExecContext* ctx, RowBatch* out) {
+Result<bool> ValuesOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
   if (!ScanIntoBatch(rows_, &pos_, rows_.size(), out)) return false;
   RecordBatch(ctx, out->size());
   return true;
 }
 
-Status ValuesOp::Close(ExecContext*) { return Status::OK(); }
+Status ValuesOp::CloseImpl(ExecContext*) { return Status::OK(); }
 
 std::string ValuesOp::DebugName() const {
   return "Values(" + std::to_string(rows_.size()) + " rows)";

@@ -7,6 +7,7 @@
 
 #include "src/exec/exec_context.h"
 #include "src/exec/gapply_op.h"
+#include "src/exec/profile.h"
 
 namespace gapply::fuzz {
 
@@ -59,6 +60,7 @@ std::string ExecSpec::Key() const {
   key += ";morsel=" + std::to_string(lowering.exchange_morsel_rows);
   key += ";b=" + std::to_string(batch_size);
   key += row_path ? ";rows" : ";vec";
+  if (profile) key += ";prof";
   return key;
 }
 
@@ -158,6 +160,24 @@ std::vector<OraclePair> BuildOracleMatrix(const OracleMatrixOptions& options) {
   oracles.push_back(
       {"exec:hash-vs-stream-groupby", base, stream, CompareMode::kMultiset});
 
+  // Profiler oracle: profiling must be invisible to results (sequence
+  // compare against the identical unprofiled spec) and the profile itself
+  // must satisfy the counter invariants — RunSpec validates it and turns a
+  // violation into an execution error. Run serial and parallel (the merged
+  // worker-clone path has its own invariant rules).
+  ExecSpec profiled = base;
+  profiled.name = "exec:profile=on";
+  profiled.profile = true;
+  oracles.push_back(
+      {"exec:profile-differential", base, profiled, CompareMode::kSequence});
+
+  ExecSpec par_plain = parallel_spec(4, 1024);
+  ExecSpec par_profiled = par_plain;
+  par_profiled.name += ",profile=on";
+  par_profiled.profile = true;
+  oracles.push_back({"exec:profile-differential-parallel", par_plain,
+                     par_profiled, CompareMode::kSequence});
+
   return oracles;
 }
 
@@ -173,8 +193,14 @@ Result<QueryResult> RunSpec(const LogicalOp& plan, const Catalog& catalog,
   // pools, which keeps specs fully independent of each other.
   ExecContext ctx;
   ctx.set_batch_size(spec.batch_size);
-  return spec.row_path ? ExecuteToVectorRows(phys.get(), &ctx)
-                       : ExecuteToVector(phys.get(), &ctx);
+  ctx.set_profiling(spec.profile);
+  Result<QueryResult> result = spec.row_path
+                                   ? ExecuteToVectorRows(phys.get(), &ctx)
+                                   : ExecuteToVector(phys.get(), &ctx);
+  if (result.ok() && spec.profile) {
+    RETURN_NOT_OK(ValidateProfile(CollectProfile(*phys)));
+  }
+  return result;
 }
 
 Result<std::vector<Mismatch>> RunOracles(

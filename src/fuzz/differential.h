@@ -25,6 +25,12 @@ struct ExecSpec {
   size_t batch_size = 1024;
   /// Drive the root through ExecuteToVectorRows instead of ExecuteToVector.
   bool row_path = false;
+  /// Execute with per-operator profiling on and assert the profile counter
+  /// invariants (ValidateProfile) after a successful run: rows_in must
+  /// equal the children's rows_out, cumulative time must cover self time.
+  /// An invariant violation turns the run into an error, which the oracle
+  /// comparison then reports as a one-sided mismatch.
+  bool profile = false;
 
   /// Cache key: two specs with equal keys produce identical results by
   /// definition, so the oracle runner executes each distinct key once.

@@ -79,16 +79,25 @@ Optimizer::Optimizer(const Catalog* catalog, const StatsManager* stats,
 
 Optimizer::~Optimizer() = default;
 
+double Optimizer::EstimateRowsOrUnknown(const LogicalOp& node) const {
+  Result<PlanEstimate> est = cost_model_.Estimate(node);
+  return est.ok() ? est->rows : -1;
+}
+
 Result<bool> Optimizer::ApplyAt(LogicalOpPtr* node) {
   bool changed = false;
   bool fired = true;
   int guard = 0;
   while (fired && guard++ < 32) {
     fired = false;
+    // Priced up front: once a rule fires the pre-rewrite subtree is gone.
+    const double rows_before = EstimateRowsOrUnknown(**node);
     for (const std::unique_ptr<Rule>& rule : rules_) {
       ASSIGN_OR_RETURN(bool did, rule->Apply(node, &ctx_));
       if (did) {
         fired_.push_back(rule->name());
+        trace_.push_back({rule->name(), rows_before,
+                          EstimateRowsOrUnknown(**node)});
         fired = true;
         changed = true;
         break;  // node type may have changed: restart the rule list
@@ -127,6 +136,7 @@ Result<bool> Optimizer::Pass(LogicalOpPtr* node) {
 
 Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
   fired_.clear();
+  trace_.clear();
   if (plan == nullptr) {
     return Status::InvalidArgument("Optimize: null plan");
   }

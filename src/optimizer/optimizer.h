@@ -95,6 +95,17 @@ class Optimizer {
     static const std::vector<Toggle>& RuleToggles();
   };
 
+  /// One rule firing, in order, with the cost model's cardinality estimate
+  /// for the rewritten subtree before and after the rewrite (-1 when the
+  /// estimator could not price the subtree, e.g. a GroupScan outside its
+  /// group environment). EXPLAIN ANALYZE pairs these estimates with the
+  /// actual per-operator row counts.
+  struct RuleFiring {
+    std::string rule;
+    double rows_before = -1;
+    double rows_after = -1;
+  };
+
   Optimizer(const Catalog* catalog, const StatsManager* stats,
             Options options);
   ~Optimizer();
@@ -106,15 +117,23 @@ class Optimizer {
   /// Names of rules fired during the last Optimize call, in firing order.
   const std::vector<std::string>& fired_rules() const { return fired_; }
 
+  /// Per-firing trace of the last Optimize call (parallel to fired_rules,
+  /// plus before/after cardinality estimates at each rewrite site).
+  const std::vector<RuleFiring>& rule_trace() const { return trace_; }
+
  private:
   Result<bool> ApplyAt(LogicalOpPtr* node);
   Result<bool> Pass(LogicalOpPtr* node);
+
+  /// Estimated output rows of `node`, -1 when the estimator fails.
+  double EstimateRowsOrUnknown(const LogicalOp& node) const;
 
   Options options_;
   CostModel cost_model_;
   OptimizerContext ctx_;
   std::vector<std::unique_ptr<Rule>> rules_;
   std::vector<std::string> fired_;
+  std::vector<RuleFiring> trace_;
 };
 
 }  // namespace gapply

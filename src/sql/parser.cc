@@ -450,11 +450,25 @@ Result<std::optional<SetStatement>> TryParseSet(const std::string& sql) {
     negative = true;
     ++i;
   }
-  if (i >= tokens.size() || tokens[i].type != TokenType::kInteger) {
-    return error("expected integer value");
+  if (!negative && i < tokens.size() &&
+      tokens[i].type == TokenType::kIdentifier) {
+    // Boolean spellings for on/off knobs (`SET profile = on`).
+    const std::string& word = tokens[i].text;
+    if (word == "on" || word == "true") {
+      stmt.value = 1;
+    } else if (word == "off" || word == "false") {
+      stmt.value = 0;
+    } else {
+      return error("expected integer or on/off/true/false value");
+    }
+    ++i;
+  } else {
+    if (i >= tokens.size() || tokens[i].type != TokenType::kInteger) {
+      return error("expected integer value");
+    }
+    stmt.value = std::stoll(tokens[i++].text);
+    if (negative) stmt.value = -stmt.value;
   }
-  stmt.value = std::stoll(tokens[i++].text);
-  if (negative) stmt.value = -stmt.value;
   if (i < tokens.size() && tokens[i].type == TokenType::kSymbol &&
       tokens[i].text == ";") {
     ++i;
@@ -463,6 +477,69 @@ Result<std::optional<SetStatement>> TryParseSet(const std::string& sql) {
     return error("unexpected trailing input");
   }
   return std::optional<SetStatement>(std::move(stmt));
+}
+
+Result<std::optional<ExplainStatement>> TryParseExplain(
+    const std::string& sql) {
+  ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  if (tokens.empty() || tokens[0].type != TokenType::kIdentifier ||
+      tokens[0].text != "explain") {
+    return std::optional<ExplainStatement>();
+  }
+  size_t i = 1;
+  auto error = [&](const std::string& msg) {
+    return Status::InvalidArgument(
+        "parse error in EXPLAIN statement at position " +
+        std::to_string(i < tokens.size() ? tokens[i].position : sql.size()) +
+        ": " + msg);
+  };
+  auto is_word = [&](const char* word) {
+    return i < tokens.size() && tokens[i].type == TokenType::kIdentifier &&
+           tokens[i].text == word;
+  };
+  ExplainStatement stmt;
+  if (i < tokens.size() && tokens[i].type == TokenType::kSymbol &&
+      tokens[i].text == "(") {
+    // Parenthesized option list: (ANALYZE[, FORMAT JSON|TEXT]).
+    ++i;
+    while (true) {
+      if (is_word("analyze")) {
+        stmt.analyze = true;
+        ++i;
+      } else if (is_word("format")) {
+        ++i;
+        if (is_word("json")) {
+          stmt.json = true;
+        } else if (is_word("text")) {
+          stmt.json = false;
+        } else {
+          return error("expected JSON or TEXT after FORMAT");
+        }
+        ++i;
+      } else {
+        return error("expected EXPLAIN option (ANALYZE, FORMAT)");
+      }
+      if (i < tokens.size() && tokens[i].type == TokenType::kSymbol &&
+          tokens[i].text == ",") {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= tokens.size() || tokens[i].type != TokenType::kSymbol ||
+        tokens[i].text != ")") {
+      return error("expected ')' closing the EXPLAIN option list");
+    }
+    ++i;
+  } else if (is_word("analyze")) {
+    stmt.analyze = true;
+    ++i;
+  }
+  if (i >= tokens.size() || tokens[i].type == TokenType::kEnd) {
+    return error("expected a statement after EXPLAIN");
+  }
+  stmt.query = sql.substr(tokens[i].position);
+  return std::optional<ExplainStatement>(std::move(stmt));
 }
 
 }  // namespace gapply::sql

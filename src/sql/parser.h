@@ -30,9 +30,11 @@ namespace gapply::sql {
 /// [NOT] EXISTS (SELECT ...).
 Result<QueryPtr> Parse(const std::string& sql);
 
-/// A session option assignment: `SET <name> = <integer>` (e.g.
-/// `SET parallelism = 4`). Option names are lowercased; which names are
-/// valid is decided by the engine, not the parser.
+/// A session option assignment: `SET <name> = <value>` where value is an
+/// integer or one of the boolean spellings ON/OFF/TRUE/FALSE (mapped to
+/// 1/0), e.g. `SET parallelism = 4`, `SET profile = on`. Option names are
+/// lowercased; which names are valid is decided by the engine, not the
+/// parser.
 struct SetStatement {
   std::string name;
   int64_t value = 0;
@@ -42,6 +44,27 @@ struct SetStatement {
 /// the input does not start with the SET keyword (callers then hand the
 /// string to Parse). A malformed SET statement is an InvalidArgument error.
 Result<std::optional<SetStatement>> TryParseSet(const std::string& sql);
+
+/// An EXPLAIN request wrapping an ordinary statement:
+///
+///   EXPLAIN <query>                      (plan only)
+///   EXPLAIN ANALYZE <query>              (execute + annotated plan tree)
+///   EXPLAIN (ANALYZE) <query>
+///   EXPLAIN (ANALYZE, FORMAT JSON) <query>
+///   EXPLAIN (ANALYZE, FORMAT TEXT) <query>
+///
+/// `query` is the raw SQL following the EXPLAIN prefix, ready to hand back
+/// to Parse/Query.
+struct ExplainStatement {
+  bool analyze = false;
+  bool json = false;
+  std::string query;
+};
+
+/// If `sql` is an EXPLAIN statement, parses the prefix and returns it;
+/// returns nullopt when the input does not start with the EXPLAIN keyword.
+/// A malformed EXPLAIN prefix is an InvalidArgument error.
+Result<std::optional<ExplainStatement>> TryParseExplain(const std::string& sql);
 
 }  // namespace gapply::sql
 
