@@ -62,6 +62,24 @@ ThreadPool* Database::shared_thread_pool(size_t max_dop) {
 }
 
 Status Database::ApplySetStatement(const sql::SetStatement& stmt) {
+  if (stmt.name == "storage") {
+    if (stmt.word == "columnar") {
+      set_default_columnar_storage(true);
+      return Status::OK();
+    }
+    if (stmt.word == "row") {
+      set_default_columnar_storage(false);
+      return Status::OK();
+    }
+    return Status::InvalidArgument(
+        "SET storage: value must be columnar or row, got " +
+        (stmt.word.empty() ? std::to_string(stmt.value) : stmt.word));
+  }
+  if (!stmt.word.empty()) {
+    // Every remaining knob takes an integer or on/off value.
+    return Status::InvalidArgument("SET " + stmt.name +
+                                   ": unexpected value " + stmt.word);
+  }
   if (stmt.name == "parallelism" || stmt.name == "gapply_parallelism") {
     if (stmt.value < 0) {
       return Status::InvalidArgument(
@@ -146,6 +164,9 @@ Result<QueryResult> Database::Execute(const LogicalOp& plan,
   if (lowering.exchange_parallelism == 0) {
     lowering.exchange_parallelism = default_gapply_parallelism_;
   }
+  if (!lowering.columnar_storage.has_value()) {
+    lowering.columnar_storage = default_columnar_storage_;
+  }
   CostModel cost_model(&catalog_, &stats_);
   if (profile && lowering.cost_model == nullptr) {
     // Stamp estimated cardinalities so the profile can report estimated
@@ -221,6 +242,12 @@ Result<JsonValue> Database::ExplainAnalyzeJson(const std::string& sql,
   counters.Set("gapply_worker_busy_ns",
                JsonValue::Int(static_cast<int64_t>(
                    stats.counters.gapply_worker_busy_ns)));
+  counters.Set("morsels_pruned",
+               JsonValue::Int(static_cast<int64_t>(
+                   stats.counters.morsels_pruned)));
+  counters.Set("morsels_scanned",
+               JsonValue::Int(static_cast<int64_t>(
+                   stats.counters.morsels_scanned)));
   out.Set("counters", std::move(counters));
   return out;
 }
@@ -248,6 +275,9 @@ Result<std::string> Database::Explain(const std::string& sql,
     }
     if (lowering.exchange_parallelism == 0) {
       lowering.exchange_parallelism = default_gapply_parallelism_;
+    }
+    if (!lowering.columnar_storage.has_value()) {
+      lowering.columnar_storage = default_columnar_storage_;
     }
     ASSIGN_OR_RETURN(PhysOpPtr phys, LowerPlan(*optimized, lowering));
     out += "=== physical plan ===\n" + phys->DebugString();

@@ -66,7 +66,10 @@ struct QueryStats {
 /// 1 = serial, 0 = all hardware threads) and `SET batch_size = N` (rows per
 /// RowBatch in the vectorized pipeline; 1 degenerates to row-at-a-time)
 /// and `SET profile = on|off` (collect per-operator runtime profiles for
-/// every query; surfaced via QueryStats::profile and EXPLAIN ANALYZE).
+/// every query; surfaced via QueryStats::profile and EXPLAIN ANALYZE)
+/// and `SET storage = columnar|row` (TableScan read path; columnar — the
+/// default — evaluates pushed-down `col <op> const` WHERE conjuncts over
+/// dense per-column arrays and skips whole morsels via zone maps).
 /// All persist for the session and apply to every subsequent query whose
 /// QueryOptions do not override them.
 ///
@@ -145,6 +148,15 @@ class Database {
   bool default_profile() const { return default_profile_; }
   void set_default_profile(bool on) { default_profile_ = on; }
 
+  /// Session default for the TableScan storage path
+  /// (`SET storage = columnar|row`), applied to every query whose
+  /// QueryOptions leave `lowering.columnar_storage` unset. Columnar (the
+  /// default) also enables predicate pushdown + zone-map pruning.
+  bool default_columnar_storage() const { return default_columnar_storage_; }
+  void set_default_columnar_storage(bool on) {
+    default_columnar_storage_ = on;
+  }
+
  private:
   /// Applies a parsed `SET name = value` statement to the session.
   Status ApplySetStatement(const sql::SetStatement& stmt);
@@ -159,6 +171,7 @@ class Database {
   size_t default_gapply_parallelism_ = 1;
   size_t default_batch_size_ = RowBatch::kDefaultCapacity;
   bool default_profile_ = false;
+  bool default_columnar_storage_ = true;
   std::unique_ptr<ThreadPool> thread_pool_;
 };
 

@@ -129,7 +129,14 @@ Status ExchangeOp::OpenParallel(ExecContext* ctx, TableScanOp* scan) {
       while (!abort.load(std::memory_order_relaxed)) {
         const size_t m = next_morsel.fetch_add(1, std::memory_order_relaxed);
         if (m >= num_morsels) break;
-        w.scan->SetMorsel(m * morsel_rows_, (m + 1) * morsel_rows_);
+        Status arm = w.scan->SetMorsel(m * morsel_rows_, (m + 1) * morsel_rows_);
+        if (!arm.ok()) {
+          w.error = std::move(arm);
+          w.error_rank = m + 1;
+          w.failed = true;
+          abort.store(true, std::memory_order_relaxed);
+          break;
+        }
         std::vector<Row>& slot = slots_[m];
         while (true) {
           auto has = w.segment->NextBatch(&w.ctx, &batch);

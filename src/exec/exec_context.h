@@ -40,6 +40,12 @@ class ExecContext {
   struct Counters {
     uint64_t rows_scanned = 0;       // base-table rows produced by TableScan
     uint64_t group_rows_scanned = 0; // rows produced by GroupScan
+
+    // Zone-map pruning (columnar scans with pushed-down predicates only;
+    // scans without pushed predicates leave both at zero). A morsel is
+    // either pruned (skipped wholesale off its zone maps) or scanned.
+    uint64_t morsels_scanned = 0;
+    uint64_t morsels_pruned = 0;
     uint64_t pgq_executions = 0;     // per-group query invocations
     uint64_t apply_invocations = 0;  // inner re-executions by Apply
     uint64_t rows_sorted = 0;
@@ -85,6 +91,8 @@ class ExecContext {
     void MergeFrom(const Counters& other) {
       rows_scanned += other.rows_scanned;
       group_rows_scanned += other.group_rows_scanned;
+      morsels_scanned += other.morsels_scanned;
+      morsels_pruned += other.morsels_pruned;
       pgq_executions += other.pgq_executions;
       apply_invocations += other.apply_invocations;
       rows_sorted += other.rows_sorted;

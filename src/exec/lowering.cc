@@ -46,6 +46,72 @@ PhysOpPtr MaybeWrapExchange(PhysOpPtr op, const LoweringOptions& opts,
                                       opts.exchange_morsel_rows);
 }
 
+bool CmpOpFromBinary(BinaryOp op, value_ops::CmpOp* out) {
+  switch (op) {
+    case BinaryOp::kEq: *out = value_ops::CmpOp::kEq; return true;
+    case BinaryOp::kNe: *out = value_ops::CmpOp::kNe; return true;
+    case BinaryOp::kLt: *out = value_ops::CmpOp::kLt; return true;
+    case BinaryOp::kLe: *out = value_ops::CmpOp::kLe; return true;
+    case BinaryOp::kGt: *out = value_ops::CmpOp::kGt; return true;
+    case BinaryOp::kGe: *out = value_ops::CmpOp::kGe; return true;
+    default: return false;
+  }
+}
+
+/// Mirror of `a <op> b` ≡ `b <flip(op)> a` for normalizing literal-first
+/// comparisons to column-first.
+value_ops::CmpOp FlipCmp(value_ops::CmpOp op) {
+  switch (op) {
+    case value_ops::CmpOp::kLt: return value_ops::CmpOp::kGt;
+    case value_ops::CmpOp::kLe: return value_ops::CmpOp::kGe;
+    case value_ops::CmpOp::kGt: return value_ops::CmpOp::kLt;
+    case value_ops::CmpOp::kGe: return value_ops::CmpOp::kLe;
+    default: return op;  // kEq / kNe are symmetric
+  }
+}
+
+/// Column/literal pairings Value::Compare handles without a type error —
+/// the bar a conjunct must meet to be evaluated inside the scan.
+bool TypeSoundForPushdown(TypeId col, TypeId lit) {
+  const auto numeric = [](TypeId t) {
+    return t == TypeId::kInt64 || t == TypeId::kDouble;
+  };
+  if (numeric(col) && numeric(lit)) return true;
+  if (col == TypeId::kString && lit == TypeId::kString) return true;
+  if (col == TypeId::kBool && lit == TypeId::kBool) return true;
+  return false;
+}
+
+/// Tries to view `e` as `col <op> literal` (either orientation) with a
+/// non-NULL, type-sound literal — the shape TableScanOp can evaluate over
+/// its dense arrays and prune morsels with.
+bool ExtractScanPredicate(const Expr& e, const Schema& schema,
+                          ScanPredicate* out) {
+  const auto* bin = dynamic_cast<const BinaryExpr*>(&e);
+  if (bin == nullptr) return false;
+  value_ops::CmpOp op;
+  if (!CmpOpFromBinary(bin->op(), &op)) return false;
+  const auto* col = dynamic_cast<const ColumnRefExpr*>(&bin->left());
+  const auto* lit = dynamic_cast<const LiteralExpr*>(&bin->right());
+  if (col == nullptr || lit == nullptr) {
+    col = dynamic_cast<const ColumnRefExpr*>(&bin->right());
+    lit = dynamic_cast<const LiteralExpr*>(&bin->left());
+    if (col == nullptr || lit == nullptr) return false;
+    op = FlipCmp(op);
+  }
+  if (lit->value().is_null()) return false;
+  if (col->index() < 0 ||
+      static_cast<size_t>(col->index()) >= schema.num_columns()) {
+    return false;
+  }
+  const TypeId col_type = schema.column(static_cast<size_t>(col->index())).type;
+  if (!TypeSoundForPushdown(col_type, lit->value().type())) return false;
+  out->column = col->index();
+  out->op = op;
+  out->literal = lit->value();
+  return true;
+}
+
 Result<PhysOpPtr> Lower(const LogicalOp& node, const LoweringOptions& opts,
                         size_t exchange_dop);
 
@@ -58,8 +124,9 @@ Result<PhysOpPtr> LowerNode(const LogicalOp& node, const LoweringOptions& opts,
   switch (node.type()) {
     case LogicalOpType::kScan: {
       const auto& scan = static_cast<const LogicalScan&>(node);
-      return PhysOpPtr(
-          std::make_unique<TableScanOp>(scan.table(), scan.alias()));
+      auto op = std::make_unique<TableScanOp>(scan.table(), scan.alias());
+      op->set_use_columnar(opts.columnar_storage.value_or(true));
+      return PhysOpPtr(std::move(op));
     }
     case LogicalOpType::kGroupScan: {
       const auto& scan = static_cast<const LogicalGroupScan&>(node);
@@ -69,6 +136,33 @@ Result<PhysOpPtr> LowerNode(const LogicalOp& node, const LoweringOptions& opts,
     case LogicalOpType::kSelect: {
       const auto& sel = static_cast<const LogicalSelect&>(node);
       ASSIGN_OR_RETURN(PhysOpPtr child, Lower(*sel.child(0), opts, exchange_dop));
+      // Columnar storage: peel `col <op> const` conjuncts off a Filter
+      // sitting directly on a TableScan and evaluate them inside the scan
+      // (dense arrays + zone-map pruning). Sound conjunct by conjunct: a row
+      // passes WHERE iff every conjunct evaluates to true, and the scan
+      // applies the same NULL-rejects semantics the Filter would.
+      if (opts.columnar_storage.value_or(true)) {
+        if (auto* scan = dynamic_cast<TableScanOp*>(child.get())) {
+          std::vector<ExprPtr> conjuncts =
+              SplitConjuncts(sel.predicate().Clone());
+          std::vector<ScanPredicate> pushed;
+          std::vector<ExprPtr> residual;
+          for (ExprPtr& c : conjuncts) {
+            ScanPredicate p;
+            if (ExtractScanPredicate(*c, scan->output_schema(), &p)) {
+              pushed.push_back(std::move(p));
+            } else {
+              residual.push_back(std::move(c));
+            }
+          }
+          if (!pushed.empty()) {
+            scan->PushPredicates(std::move(pushed));
+            if (residual.empty()) return child;  // Filter fully absorbed
+            return PhysOpPtr(std::make_unique<FilterOp>(
+                std::move(child), CombineConjuncts(std::move(residual))));
+          }
+        }
+      }
       return PhysOpPtr(std::make_unique<FilterOp>(std::move(child),
                                                   sel.predicate().Clone()));
     }

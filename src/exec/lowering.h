@@ -39,6 +39,13 @@ struct LoweringOptions {
   /// (ExchangeOp::kDefaultMorselRows).
   size_t exchange_morsel_rows = 8192;
 
+  /// Storage read path for TableScan: columnar (dense arrays, zone-map
+  /// morsel pruning, and pushdown of `col <op> const` Filter conjuncts into
+  /// the scan) vs. the row store. Unset means "engine default" (Database
+  /// substitutes its session setting, `SET storage = columnar|row`);
+  /// standalone LowerPlan calls resolve unset to columnar.
+  std::optional<bool> columnar_storage;
+
   /// When set, every lowered operator is stamped with the cost model's
   /// cardinality estimate for its logical source node
   /// (PhysOp::set_estimated_rows), so EXPLAIN ANALYZE can print estimated

@@ -40,6 +40,8 @@ void OpRuntimeProfile::MergeFrom(const OpRuntimeProfile& other) {
   open_ns += other.open_ns;
   next_ns += other.next_ns;
   close_ns += other.close_ns;
+  morsels_pruned += other.morsels_pruned;
+  morsels_scanned += other.morsels_scanned;
   workers_merged += other.workers_merged == 0 ? 1 : other.workers_merged;
   for (const auto& phase : other.phases) {
     AddPhaseNs(phase.first, phase.second);

@@ -40,6 +40,10 @@ struct OpRuntimeProfile {
   /// Number of worker-clone profiles folded into this node (0 = executed
   /// in place, serially).
   uint64_t workers_merged = 0;
+  /// Zone-map pruning (TableScan with pushed-down predicates only): morsels
+  /// skipped off their zone maps vs. morsels actually read.
+  uint64_t morsels_pruned = 0;
+  uint64_t morsels_scanned = 0;
   /// Named per-phase attribution (e.g. GApply "partition" /
   /// "per_group_query", Exchange "partition" / "merge"), in nanoseconds.
   std::vector<std::pair<std::string, uint64_t>> phases;

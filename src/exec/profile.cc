@@ -30,6 +30,13 @@ void RenderTo(const ProfileNode& node, const ProfileRenderOptions& options,
     *out += " est=" + FormatEstRows(node.estimated_rows);
   }
   if (node.dop > 1) *out += " dop=" + std::to_string(node.dop);
+  // Deterministic (not timing-derived), so printed regardless of
+  // show_timings; scans without pushed predicates keep both at zero and
+  // print nothing.
+  if (node.profile.morsels_pruned > 0 || node.profile.morsels_scanned > 0) {
+    *out += " morsels_pruned=" + std::to_string(node.profile.morsels_pruned) +
+            " morsels_scanned=" + std::to_string(node.profile.morsels_scanned);
+  }
   if (options.show_timings) {
     *out += "  [total=" + FormatMs(node.profile.cumulative_ns()) +
             " self=" + FormatMs(node.self_ns) +
@@ -103,6 +110,10 @@ JsonValue ProfileToJson(const ProfileNode& node) {
           JsonValue::Int(static_cast<int64_t>(node.profile.batch_calls)));
   obj.Set("workers_merged",
           JsonValue::Int(static_cast<int64_t>(node.profile.workers_merged)));
+  obj.Set("morsels_pruned",
+          JsonValue::Int(static_cast<int64_t>(node.profile.morsels_pruned)));
+  obj.Set("morsels_scanned",
+          JsonValue::Int(static_cast<int64_t>(node.profile.morsels_scanned)));
   obj.Set("total_ns",
           JsonValue::Int(static_cast<int64_t>(node.profile.cumulative_ns())));
   obj.Set("self_ns", JsonValue::Int(static_cast<int64_t>(node.self_ns)));

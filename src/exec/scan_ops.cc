@@ -32,23 +32,106 @@ TableScanOp::TableScanOp(const Table* table, std::string alias)
 Status TableScanOp::OpenImpl(ExecContext*) {
   pos_ = 0;
   end_ = morsel_mode_ ? 0 : table_->num_rows();
+  chunk_end_ = 0;
+  compiled_ = preds_.empty()
+                  ? std::vector<CompiledPredicate>{}
+                  : table_->columnar().CompilePredicates(preds_);
   return Status::OK();
 }
 
-void TableScanOp::SetMorsel(size_t begin, size_t end) {
+Status TableScanOp::SetMorsel(size_t begin, size_t end) {
+  if (begin > end) {
+    return Status::InvalidArgument(
+        "SetMorsel range is inverted: begin " + std::to_string(begin) +
+        " > end " + std::to_string(end));
+  }
   pos_ = std::min(begin, table_->num_rows());
   end_ = std::min(end, table_->num_rows());
+  chunk_end_ = pos_;  // force the zone-map check for the new range
+  return Status::OK();
+}
+
+void TableScanOp::SkipPrunedChunks(ExecContext* ctx, size_t end) {
+  const ColumnarTable& ct = table_->columnar();
+  while (pos_ < end) {
+    if (pos_ < chunk_end_) return;  // already inside a checked chunk
+    const size_t m = pos_ / ColumnarTable::kMorselRows;
+    chunk_end_ = std::min(end, (m + 1) * ColumnarTable::kMorselRows);
+    if (preds_.empty()) return;  // nothing to prune on
+    if (ct.CanPruneMorsel(m, preds_)) {
+      ctx->counters().morsels_pruned++;
+      if (ctx->profiling()) profile_.morsels_pruned++;
+      pos_ = chunk_end_;
+      continue;
+    }
+    ctx->counters().morsels_scanned++;
+    if (ctx->profiling()) profile_.morsels_scanned++;
+    return;
+  }
 }
 
 Result<bool> TableScanOp::NextImpl(ExecContext* ctx, Row* out) {
-  if (pos_ >= end_) return false;
-  *out = table_->rows()[pos_++];
-  ctx->counters().rows_scanned++;
-  return true;
+  // No pushed predicates: the dense arrays buy nothing over the row store
+  // (the streams are bit-for-bit identical), so both storage modes take the
+  // row-store copy and never force the columnar mirror to materialize.
+  if (preds_.empty()) {
+    if (pos_ >= end_) return false;
+    *out = table_->rows()[pos_++];
+    ctx->counters().rows_scanned++;
+    return true;
+  }
+  const ColumnarTable& ct = table_->columnar();
+  const size_t end = std::min(end_, ct.num_rows());
+  while (pos_ < end) {
+    SkipPrunedChunks(ctx, end);
+    if (pos_ >= end) break;
+    const size_t i = pos_++;
+    if (compiled_.empty() || ct.RowMatches(i, compiled_)) {
+      ct.MaterializeRow(i, out);
+      ctx->counters().rows_scanned++;
+      return true;
+    }
+  }
+  return false;
 }
 
 Result<bool> TableScanOp::NextBatchImpl(ExecContext* ctx, RowBatch* out) {
-  if (!ScanIntoBatch(table_->rows(), &pos_, end_, out)) return false;
+  // Same predicate-free fast path as NextImpl.
+  if (preds_.empty()) {
+    if (!ScanIntoBatch(table_->rows(), &pos_, end_, out)) return false;
+    ctx->counters().rows_scanned += out->size();
+    RecordBatch(ctx, out->size());
+    return true;
+  }
+  out->Clear();
+  const ColumnarTable& ct = table_->columnar();
+  const size_t end = std::min(end_, ct.num_rows());
+  while (out->size() < out->capacity() && pos_ < end) {
+    SkipPrunedChunks(ctx, end);
+    if (pos_ >= end) break;
+    // Scan at most the remaining capacity's worth of input per round so
+    // unselective predicates still produce ~full, never overshooting
+    // batches; selective ones just loop within the call.
+    const size_t stop =
+        std::min(chunk_end_, pos_ + (out->capacity() - out->size()));
+    if (compiled_.empty()) {
+      for (size_t i = pos_; i < stop; ++i) {
+        Row row;
+        ct.MaterializeRow(i, &row);
+        out->Add(std::move(row));
+      }
+    } else {
+      selection_.clear();
+      ct.FilterRange(pos_, stop, compiled_, &selection_);
+      for (const uint32_t i : selection_) {
+        Row row;
+        ct.MaterializeRow(i, &row);
+        out->Add(std::move(row));
+      }
+    }
+    pos_ = stop;
+  }
+  if (out->empty()) return false;
   ctx->counters().rows_scanned += out->size();
   RecordBatch(ctx, out->size());
   return true;
@@ -59,12 +142,22 @@ Status TableScanOp::CloseImpl(ExecContext*) { return Status::OK(); }
 std::string TableScanOp::DebugName() const {
   std::string out = "TableScan(" + table_->name();
   if (!alias_.empty() && alias_ != table_->name()) out += " as " + alias_;
+  if (!preds_.empty()) {
+    out += ", pushdown: ";
+    for (size_t i = 0; i < preds_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += preds_[i].ToString(schema_);
+    }
+  }
   out += ")";
   return out;
 }
 
 PhysOpPtr TableScanOp::Clone() const {
-  return std::make_unique<TableScanOp>(table_, alias_);
+  auto clone = std::make_unique<TableScanOp>(table_, alias_);
+  clone->preds_ = preds_;
+  clone->use_columnar_ = use_columnar_;
+  return clone;
 }
 
 GroupScanOp::GroupScanOp(std::string var_name, Schema schema)

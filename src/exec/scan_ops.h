@@ -11,6 +11,22 @@ namespace gapply {
 
 /// \brief Full scan over a base table. The table must outlive the operator.
 ///
+/// Two read paths over the same rows (selected per session via
+/// `SET storage`, see DESIGN.md §13):
+///  - row store: range-copies out of `Table::rows()`, the seed behavior.
+///    Taken whenever no predicates are pushed — with nothing to evaluate
+///    or prune, the dense arrays buy nothing, so predicate-free scans stay
+///    on the row store in both storage modes and never force the table's
+///    lazy columnar mirror to materialize;
+///  - columnar: engaged by pushdown (`PushPredicates`, filled in by
+///    lowering from the Filter above the scan when the session storage
+///    mode is columnar). The scan then (a) skips whole storage morsels
+///    whose zone maps refute a conjunct — booked in the `morsels_pruned` /
+///    `morsels_scanned` counters — and (b) evaluates the surviving
+///    conjuncts over the dense arrays, emitting only matching rows.
+/// Both paths produce bit-for-bit the same stream for the same (possibly
+/// empty) predicate set.
+///
 /// Morsel mode (used by ExchangeOp): after `EnableMorselMode`, Open starts
 /// with an *empty* row range, and the scan emits only rows of the range set
 /// by the most recent `SetMorsel`. End-of-stream then means "current morsel
@@ -31,19 +47,53 @@ class TableScanOp : public PhysOp {
   const Table* table() const { return table_; }
   size_t num_rows() const { return table_->num_rows(); }
 
+  /// Conjuncts this scan evaluates itself (columnar path only; lowering
+  /// pushes them only when the session storage mode is columnar). Compiled
+  /// onto the dense representation at Open. Accumulates — an unoptimized
+  /// plan lowers stacked Selects one at a time, and each absorbed Filter
+  /// must add its conjuncts to the ones already pushed, never replace them.
+  void PushPredicates(std::vector<ScanPredicate> preds) {
+    for (ScanPredicate& p : preds) preds_.push_back(std::move(p));
+  }
+  const std::vector<ScanPredicate>& pushed_predicates() const {
+    return preds_;
+  }
+
+  /// Records the session's storage choice on the operator (lowering gates
+  /// predicate extraction on it). Execution-wise the read path follows the
+  /// predicates alone: pushed predicates take the columnar path (the row
+  /// store cannot evaluate them), an empty set takes the row store.
+  void set_use_columnar(bool on) { use_columnar_ = on; }
+  bool use_columnar() const { return use_columnar_; }
+
   void EnableMorselMode() { morsel_mode_ = true; }
   bool morsel_mode() const { return morsel_mode_; }
 
-  /// Restricts the scan to rows [begin, end) of the table (clamped to the
-  /// table size) and rewinds its cursor to `begin`. Only legal in morsel
-  /// mode, between Open and Close.
-  void SetMorsel(size_t begin, size_t end);
+  /// Restricts the scan to rows [begin, end) of the table (each clamped to
+  /// the table size) and rewinds its cursor to `begin`. An inverted range
+  /// (`begin > end`) is rejected with InvalidArgument and leaves the scan's
+  /// range unchanged. Only legal in morsel mode, between Open and Close.
+  Status SetMorsel(size_t begin, size_t end);
 
  private:
+  /// Advances `pos_` past consecutive zone-map-pruned storage morsels and
+  /// establishes `chunk_end_` for the chunk `pos_` lands in, booking the
+  /// pruned/scanned counters once per chunk visit. On return either
+  /// `pos_ >= end` or `pos_` sits inside a checked, scannable chunk.
+  void SkipPrunedChunks(ExecContext* ctx, size_t end);
+
   const Table* table_;
   std::string alias_;
+  std::vector<ScanPredicate> preds_;
+  std::vector<CompiledPredicate> compiled_;  // built at Open from preds_
+  std::vector<uint32_t> selection_;          // scratch for FilterRange
   size_t pos_ = 0;
   size_t end_ = 0;
+  /// End of the storage-morsel chunk the cursor currently sits in;
+  /// `pos_ >= chunk_end_` means the next chunk still needs its zone-map
+  /// check. Reset by Open/SetMorsel.
+  size_t chunk_end_ = 0;
+  bool use_columnar_ = true;
   bool morsel_mode_ = false;
 };
 

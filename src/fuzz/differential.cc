@@ -58,6 +58,10 @@ std::string ExecSpec::Key() const {
          std::to_string(lowering.exchange_parallelism);
   key += ";xmin=" + std::to_string(lowering.exchange_min_rows);
   key += ";morsel=" + std::to_string(lowering.exchange_morsel_rows);
+  key += ";st=";
+  key += !lowering.columnar_storage.has_value() ? "d"
+         : *lowering.columnar_storage          ? "c"
+                                               : "r";
   key += ";b=" + std::to_string(batch_size);
   key += row_path ? ";rows" : ";vec";
   if (profile) key += ";prof";
@@ -159,6 +163,31 @@ std::vector<OraclePair> BuildOracleMatrix(const OracleMatrixOptions& options) {
   stream.lowering.stream_group_by = true;
   oracles.push_back(
       {"exec:hash-vs-stream-groupby", base, stream, CompareMode::kMultiset});
+
+  // Storage oracle: columnar scans (dense arrays, predicate pushdown,
+  // zone-map pruning) must reproduce the row-store stream bit for bit —
+  // both layouts preserve insertion order, so this is a sequence compare.
+  // Run serial, optimized (pushdown fires on optimizer-produced
+  // Filter-over-Scan shapes too), and parallel (pruning inside ExchangeOp's
+  // morsel driver).
+  ExecSpec row_storage = base;
+  row_storage.name = "exec:storage=row";
+  row_storage.lowering.columnar_storage = false;
+  oracles.push_back({"exec:columnar-vs-row-storage", base, row_storage,
+                     CompareMode::kSequence});
+
+  ExecSpec full_row_storage = full;
+  full_row_storage.name = "optimizer:full,storage=row";
+  full_row_storage.lowering.columnar_storage = false;
+  oracles.push_back({"exec:columnar-vs-row-storage-optimized", full,
+                     full_row_storage, CompareMode::kMultiset});
+
+  ExecSpec par_row_storage = parallel_spec(8, 1024);
+  par_row_storage.name += ",storage=row";
+  par_row_storage.lowering.columnar_storage = false;
+  oracles.push_back({"exec:columnar-vs-row-storage-parallel",
+                     parallel_spec(8, 1024), par_row_storage,
+                     CompareMode::kSequence});
 
   // Profiler oracle: profiling must be invisible to results (sequence
   // compare against the identical unprofiled spec) and the profile itself

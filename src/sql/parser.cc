@@ -452,14 +452,16 @@ Result<std::optional<SetStatement>> TryParseSet(const std::string& sql) {
   }
   if (!negative && i < tokens.size() &&
       tokens[i].type == TokenType::kIdentifier) {
-    // Boolean spellings for on/off knobs (`SET profile = on`).
+    // Boolean spellings for on/off knobs (`SET profile = on`); any other
+    // identifier is a word value for the engine to validate
+    // (`SET storage = columnar`).
     const std::string& word = tokens[i].text;
     if (word == "on" || word == "true") {
       stmt.value = 1;
     } else if (word == "off" || word == "false") {
       stmt.value = 0;
     } else {
-      return error("expected integer or on/off/true/false value");
+      stmt.word = word;
     }
     ++i;
   } else {

@@ -31,13 +31,18 @@ namespace gapply::sql {
 Result<QueryPtr> Parse(const std::string& sql);
 
 /// A session option assignment: `SET <name> = <value>` where value is an
-/// integer or one of the boolean spellings ON/OFF/TRUE/FALSE (mapped to
-/// 1/0), e.g. `SET parallelism = 4`, `SET profile = on`. Option names are
-/// lowercased; which names are valid is decided by the engine, not the
-/// parser.
+/// integer, one of the boolean spellings ON/OFF/TRUE/FALSE (mapped to
+/// 1/0), or a bare identifier for word-valued knobs, e.g.
+/// `SET parallelism = 4`, `SET profile = on`, `SET storage = columnar`.
+/// Option names are lowercased; which names (and which words) are valid is
+/// decided by the engine, not the parser.
 struct SetStatement {
   std::string name;
   int64_t value = 0;
+  /// Non-empty for word-valued assignments (`SET storage = columnar`):
+  /// the lowercased identifier. The boolean spellings ON/OFF/TRUE/FALSE
+  /// keep mapping to `value` 1/0 and leave this empty, as do integers.
+  std::string word;
 };
 
 /// If `sql` is a SET statement, parses and returns it; returns nullopt when

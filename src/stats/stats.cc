@@ -5,19 +5,9 @@
 
 #include "src/common/string_util.h"
 #include "src/exec/filter_project_ops.h"
+#include "src/storage/columnar.h"
 
 namespace gapply {
-
-namespace {
-
-struct ValueHashFn {
-  size_t operator()(const Value& v) const { return v.Hash(); }
-};
-struct ValueEqFn {
-  bool operator()(const Value& a, const Value& b) const { return a.Equals(b); }
-};
-
-}  // namespace
 
 double ColumnStats::FractionBelow(double v) const {
   if (min.is_null() || max.is_null()) return 0.0;
@@ -67,27 +57,70 @@ Status StatsManager::Analyze(const Table& table) {
   const size_t num_cols = table.schema().num_columns();
   stats.columns.resize(num_cols);
 
+  // ANALYZE reads the columnar view instead of rescanning rows: min/max and
+  // null counts fold straight out of the per-morsel zone maps, string NDV
+  // is the dictionary size (exact — values are never deleted), and numeric
+  // distincts/histograms gather from the dense arrays.
+  const ColumnarTable& ct = table.columnar();
+  const size_t num_morsels = ct.num_morsels();
   for (size_t c = 0; c < num_cols; ++c) {
     ColumnStats& col = stats.columns[c];
-    std::unordered_set<Value, ValueHashFn, ValueEqFn> distinct;
-    std::vector<double> numeric_values;
-    const bool numeric = IsNumeric(table.schema().column(c).type);
-    for (const Row& row : table.rows()) {
-      const Value& v = row[c];
-      if (v.is_null()) {
-        ++col.null_count;
-        continue;
+    const ColumnVector& cv = ct.column(c);
+    for (size_t m = 0; m < num_morsels; ++m) {
+      const ZoneMap& zone = ct.zone(c, m);
+      col.null_count += static_cast<int64_t>(zone.null_count);
+      if (zone.min.is_null()) continue;  // morsel has no non-NULL values
+      if (col.min.is_null() || CompareForSort(zone.min, col.min) < 0) {
+        col.min = zone.min;
       }
-      distinct.insert(v);
-      if (col.min.is_null() || CompareForSort(v, col.min) < 0) {
-        col.min = v;
+      if (col.max.is_null() || CompareForSort(zone.max, col.max) > 0) {
+        col.max = zone.max;
       }
-      if (col.max.is_null() || CompareForSort(v, col.max) > 0) {
-        col.max = v;
-      }
-      if (numeric) numeric_values.push_back(v.AsDouble());
     }
-    col.ndv = static_cast<int64_t>(distinct.size());
+
+    const size_t nrows = cv.size();
+    std::vector<double> numeric_values;
+    bool numeric = false;
+    switch (cv.type()) {
+      case TypeId::kString:
+        col.ndv = static_cast<int64_t>(cv.dict_size());
+        break;
+      case TypeId::kBool: {
+        bool seen[2] = {false, false};
+        for (size_t i = 0; i < nrows; ++i) {
+          if (!cv.IsNull(i)) seen[cv.ints()[i] != 0] = true;
+        }
+        col.ndv = static_cast<int64_t>(seen[0]) + static_cast<int64_t>(seen[1]);
+        break;
+      }
+      case TypeId::kInt64: {
+        numeric = true;
+        std::unordered_set<int64_t> distinct;
+        numeric_values.reserve(nrows);
+        for (size_t i = 0; i < nrows; ++i) {
+          if (cv.IsNull(i)) continue;
+          distinct.insert(cv.ints()[i]);
+          numeric_values.push_back(static_cast<double>(cv.ints()[i]));
+        }
+        col.ndv = static_cast<int64_t>(distinct.size());
+        break;
+      }
+      case TypeId::kDouble: {
+        numeric = true;
+        std::unordered_set<double> distinct;
+        numeric_values.reserve(nrows);
+        for (size_t i = 0; i < nrows; ++i) {
+          if (cv.IsNull(i)) continue;
+          distinct.insert(cv.doubles()[i]);
+          numeric_values.push_back(cv.doubles()[i]);
+        }
+        col.ndv = static_cast<int64_t>(distinct.size());
+        break;
+      }
+      case TypeId::kNull:
+        col.ndv = 0;
+        break;
+    }
     if (numeric && !numeric_values.empty() && histogram_buckets_ > 1) {
       std::sort(numeric_values.begin(), numeric_values.end());
       col.histogram_bounds.clear();

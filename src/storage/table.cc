@@ -2,14 +2,14 @@
 
 namespace gapply {
 
-Status Table::Append(Row row) {
-  if (row.size() != schema_.num_columns()) {
+Status Table::CheckAndWiden(Row* row) const {
+  if (row->size() != schema_.num_columns()) {
     return Status::InvalidArgument(
-        "row arity " + std::to_string(row.size()) + " does not match table " +
+        "row arity " + std::to_string(row->size()) + " does not match table " +
         name_ + " arity " + std::to_string(schema_.num_columns()));
   }
-  for (size_t i = 0; i < row.size(); ++i) {
-    Value& v = row[i];
+  for (size_t i = 0; i < row->size(); ++i) {
+    Value& v = (*row)[i];
     if (v.is_null()) continue;
     const TypeId want = schema_.column(i).type;
     if (v.type() == want) continue;
@@ -21,15 +21,39 @@ Status Table::Append(Row row) {
                              " expects " + TypeName(want) + ", got " +
                              TypeName(v.type()));
   }
+  return Status::OK();
+}
+
+Status Table::Append(Row row) {
+  RETURN_NOT_OK(CheckAndWiden(&row));
   rows_.push_back(std::move(row));
   return Status::OK();
 }
 
 Status Table::AppendAll(std::vector<Row> rows) {
+  // Validate (and widen) every row before mutating anything, so a bad row
+  // anywhere in the batch leaves the table untouched.
   for (Row& row : rows) {
-    RETURN_NOT_OK(Append(std::move(row)));
+    RETURN_NOT_OK(CheckAndWiden(&row));
+  }
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) {
+    rows_.push_back(std::move(row));
   }
   return Status::OK();
+}
+
+const ColumnarTable& Table::columnar() const {
+  // Fast path: already mirrored up to the current row count. Appends never
+  // overlap execution, so `rows_.size()` is stable while readers race here.
+  if (columnar_synced_.load(std::memory_order_acquire) != rows_.size()) {
+    std::lock_guard<std::mutex> lock(columnar_mu_);
+    for (size_t i = columnar_.num_rows(); i < rows_.size(); ++i) {
+      columnar_.AppendRow(rows_[i]);
+    }
+    columnar_synced_.store(rows_.size(), std::memory_order_release);
+  }
+  return columnar_;
 }
 
 }  // namespace gapply

@@ -1,41 +1,73 @@
 #ifndef GAPPLY_STORAGE_TABLE_H_
 #define GAPPLY_STORAGE_TABLE_H_
 
+#include <atomic>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/common/status.h"
 #include "src/common/value.h"
+#include "src/storage/columnar.h"
 #include "src/storage/schema.h"
 
 namespace gapply {
 
-/// \brief An in-memory row-store base table.
+/// \brief An in-memory base table: insertion-ordered row store plus a
+/// lazily materialized columnar view.
 ///
 /// Rows are stored in insertion order; the engine imposes no physical order
 /// (the paper assumes an unordered model). Type checking happens on append.
+/// The columnar view (per-column typed arrays, dictionary-encoded strings,
+/// per-morsel zone maps — DESIGN.md §13) is built on demand at the first
+/// `columnar()` access and then kept by catching up to the row store on
+/// each access, so append-heavy temporary tables that are never scanned
+/// with pushed predicates pay nothing for it. `rows()` remains the
+/// ingest-order row view both layouts must agree with bit for bit.
+///
+/// Thread safety matches the engine's table contract: appends must not
+/// overlap query execution, but any number of readers may call `columnar()`
+/// concurrently (Exchange workers do) — the catch-up is mutex-guarded with
+/// a lock-free fast path once synced.
 class Table {
  public:
   Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        columnar_(schema_) {}
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return rows_.size(); }
   const std::vector<Row>& rows() const { return rows_; }
 
+  /// Columnar view over the same rows, caught up to `rows()` on access.
+  const ColumnarTable& columnar() const;
+
   /// Appends one row after checking arity and per-column type compatibility
   /// (NULL is compatible with every column type; int64 values are accepted
   /// into double columns and widened).
   Status Append(Row row);
 
-  /// Bulk append; stops at the first bad row.
+  /// Bulk append with all-or-nothing semantics: every row is validated (and
+  /// widened) first, and the table is mutated only when the whole batch is
+  /// acceptable — a failed AppendAll leaves the table unchanged.
   Status AppendAll(std::vector<Row> rows);
 
  private:
+  /// Arity/type check shared by Append and AppendAll; widens int64 values
+  /// destined for double columns in place.
+  Status CheckAndWiden(Row* row) const;
+
   std::string name_;
   Schema schema_;
   std::vector<Row> rows_;
+  /// Lazily synced mirror of `rows_`; `columnar_synced_` is the number of
+  /// rows already mirrored (lock-free fast-path check), `columnar_mu_`
+  /// serializes the catch-up between concurrent readers.
+  mutable ColumnarTable columnar_;
+  mutable std::atomic<size_t> columnar_synced_{0};
+  mutable std::mutex columnar_mu_;
 };
 
 }  // namespace gapply

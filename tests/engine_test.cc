@@ -1,6 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <string>
+
 #include "src/engine/database.h"
+#include "src/storage/columnar.h"
+#include "tests/differential_util.h"
 #include "tests/test_util.h"
 
 namespace gapply {
@@ -156,6 +161,87 @@ TEST_F(EngineTest, SetParallelismPersistsForTheSession) {
 TEST_F(EngineTest, SetParallelismZeroMeansAllHardwareThreads) {
   ASSERT_TRUE(db_.Query("set parallelism = 0").ok());
   EXPECT_GE(db_.default_gapply_parallelism(), 1u);
+}
+
+TEST_F(EngineTest, SetStorageSwitchesScanPathAndKeepsResults) {
+  const std::string sql =
+      "select ps_partkey, ps_availqty from partsupp where ps_availqty > 100";
+  // Columnar (the default): the WHERE is pushed into the scan, so the
+  // physical plan shows the pushdown and loses the Filter.
+  ASSIGN_OR_FAIL(std::string columnar_plan, db_.Explain(sql));
+  EXPECT_NE(columnar_plan.find("pushdown: ps_availqty > 100"),
+            std::string::npos)
+      << columnar_plan;
+  ASSIGN_OR_FAIL(QueryResult columnar, db_.Query(sql));
+
+  ASSERT_TRUE(db_.Query("set storage = row").ok());
+  EXPECT_FALSE(db_.default_columnar_storage());
+  ASSIGN_OR_FAIL(std::string row_plan, db_.Explain(sql));
+  EXPECT_EQ(row_plan.find("pushdown"), std::string::npos) << row_plan;
+  ASSIGN_OR_FAIL(QueryResult row, db_.Query(sql));
+  tutil::ExpectSameSequence(row.rows, columnar.rows, "storage=row");
+
+  ASSERT_TRUE(db_.Query("set storage = columnar").ok());
+  EXPECT_TRUE(db_.default_columnar_storage());
+}
+
+TEST_F(EngineTest, SetStorageRejectsBadValues) {
+  for (const char* bad : {"set storage = 1", "set storage = fast",
+                          "set storage = on"}) {
+    Result<QueryResult> r = db_.Query(bad);
+    ASSERT_FALSE(r.ok()) << bad;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  EXPECT_TRUE(db_.default_columnar_storage());  // unchanged by failures
+  // Word values are rejected by the numeric knobs.
+  Result<QueryResult> r = db_.Query("set parallelism = columnar");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, PushdownAccumulatesAcrossStackedSelects) {
+  // Fuzzer regression (seed 147): with the optimizer off, `a AND b` binds
+  // as two stacked Selects over the scan; lowering absorbs them one at a
+  // time, and the second PushPredicates call must add to — not replace —
+  // the conjuncts the first one pushed. The row (v0=13) violates the first
+  // conjunct, so a dropped conjunct shows up as count 1 instead of 0.
+  auto t0 = std::make_unique<Table>(
+      "t0", Schema({{"v0", TypeId::kInt64, "t0"},
+                    {"s1", TypeId::kString, "t0"}}));
+  ASSERT_TRUE(t0->Append({Value::Int(13), Value::Str("vdkou")}).ok());
+  ASSERT_TRUE(db_.catalog()->AddTable(std::move(t0)).ok());
+
+  const std::string sql =
+      "select count(s1) from t0 where v0 <= 0 and s1 <> 'nzocmy'";
+  QueryOptions off;
+  off.optimize = false;
+  ASSIGN_OR_FAIL(QueryResult unopt, db_.Query(sql, off));
+  EXPECT_EQ(unopt.rows[0][0].int_val(), 0);
+  ASSIGN_OR_FAIL(QueryResult opt, db_.Query(sql));
+  EXPECT_EQ(opt.rows[0][0].int_val(), 0);
+}
+
+TEST_F(EngineTest, ExplainAnalyzeSurfacesMorselCounters) {
+  // A clustered two-morsel table: `k < 10` lives entirely in morsel 0, so
+  // the scan must prune morsel 1 and say so in the report.
+  auto big = std::make_unique<Table>(
+      "big", Schema({{"k", TypeId::kInt64, "big"}}));
+  for (size_t i = 0; i < 2 * ColumnarTable::kMorselRows; ++i) {
+    ASSERT_TRUE(big->Append({Value::Int(static_cast<int64_t>(i))}).ok());
+  }
+  ASSERT_TRUE(db_.catalog()->AddTable(std::move(big)).ok());
+
+  ASSIGN_OR_FAIL(std::string report,
+                 db_.ExplainAnalyze("select k from big where k < 10"));
+  EXPECT_NE(report.find("morsels_pruned=1"), std::string::npos) << report;
+  EXPECT_NE(report.find("morsels_scanned=1"), std::string::npos) << report;
+
+  ASSIGN_OR_FAIL(
+      JsonValue json,
+      db_.ExplainAnalyzeJson("select k from big where k < 10"));
+  const std::string dump = json.Dump(2);
+  EXPECT_NE(dump.find("morsels_pruned"), std::string::npos) << dump;
+  EXPECT_NE(dump.find("\"result_rows\": 10"), std::string::npos) << dump;
 }
 
 TEST_F(EngineTest, SetStatementErrors) {

@@ -15,12 +15,14 @@
 #include "src/common/row_batch.h"
 #include "src/exec/agg_ops.h"
 #include "src/exec/apply_ops.h"
+#include "src/exec/exchange_op.h"
 #include "src/exec/filter_project_ops.h"
 #include "src/exec/gapply_op.h"
 #include "src/exec/join_ops.h"
 #include "src/exec/scan_ops.h"
 #include "src/expr/aggregate.h"
 #include "src/expr/expr.h"
+#include "src/storage/columnar.h"
 #include "tests/differential_util.h"
 #include "tests/test_util.h"
 
@@ -370,6 +372,377 @@ TEST(BatchExprTest, EvalBatchMatchesEvalForFastAndSlowPaths) {
           << " vs " << expected.ToString();
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar vs row storage. The columnar read path — dense arrays, pushed
+// predicates, zone-map pruning — must reproduce the row-store stream
+// bit-for-bit (both layouts preserve insertion order) across
+// DOP {1, 8} x batch {1, 1024} x predicate shapes.
+// ---------------------------------------------------------------------------
+
+BinaryOp ToBinaryOp(value_ops::CmpOp op) {
+  switch (op) {
+    case value_ops::CmpOp::kEq: return BinaryOp::kEq;
+    case value_ops::CmpOp::kNe: return BinaryOp::kNe;
+    case value_ops::CmpOp::kLt: return BinaryOp::kLt;
+    case value_ops::CmpOp::kLe: return BinaryOp::kLe;
+    case value_ops::CmpOp::kGt: return BinaryOp::kGt;
+    case value_ops::CmpOp::kGe: return BinaryOp::kGe;
+  }
+  return BinaryOp::kEq;
+}
+
+/// The same conjunction as an ordinary filter expression, for the row-store
+/// baseline plan.
+ExprPtr PredsToExpr(const Schema& s, const std::vector<ScanPredicate>& preds) {
+  ExprPtr out;
+  for (const ScanPredicate& p : preds) {
+    ExprPtr leaf =
+        Binary(ToBinaryOp(p.op), Col(s, p.column), Lit(p.literal));
+    out = out == nullptr
+              ? std::move(leaf)
+              : Binary(BinaryOp::kAnd, std::move(out), std::move(leaf));
+  }
+  return out;
+}
+
+Schema MixedSchema() {
+  return Schema({{"k", TypeId::kInt64, "t"},
+                 {"v", TypeId::kInt64, "t"},
+                 {"d", TypeId::kDouble, "t"},
+                 {"s", TypeId::kString, "t"},
+                 {"b", TypeId::kBool, "t"}});
+}
+
+std::vector<Row> MixedRows(Rng* rng, int n, double null_fraction) {
+  const char* words[] = {"ada", "byron", "curie", "darwin", "euler"};
+  std::vector<Row> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    auto maybe_null = [&](Value v) {
+      return rng->Bernoulli(null_fraction) ? Value::Null() : std::move(v);
+    };
+    Row row;
+    row.push_back(Value::Int(i));  // clustered key
+    row.push_back(maybe_null(Value::Int(rng->UniformInt(0, 100))));
+    row.push_back(maybe_null(Value::Double(rng->UniformDouble(0.0, 1.0))));
+    row.push_back(maybe_null(Value::Str(words[i % 5])));
+    row.push_back(maybe_null(Value::Bool(i % 3 == 0)));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+class ColumnarStorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(77);
+    table_ = MakeTable("t", MixedSchema(), MixedRows(&rng, 2000, 0.1));
+  }
+
+  /// Row-store baseline: scan with the columnar path off, predicates (if
+  /// any) evaluated by an ordinary FilterOp above it.
+  PhysOpPtr RowStorePlan(const std::vector<ScanPredicate>& preds) {
+    auto scan = std::make_unique<TableScanOp>(table_.get());
+    scan->set_use_columnar(false);
+    if (preds.empty()) return scan;
+    ExprPtr pred = PredsToExpr(scan->output_schema(), preds);
+    return std::make_unique<FilterOp>(std::move(scan), std::move(pred));
+  }
+
+  /// Columnar candidate: predicates pushed into the scan itself.
+  PhysOpPtr ColumnarPlan(std::vector<ScanPredicate> preds) {
+    auto scan = std::make_unique<TableScanOp>(table_.get());
+    scan->PushPredicates(std::move(preds));
+    return scan;
+  }
+
+  void ExpectStorageEquivalence(const std::vector<ScanPredicate>& preds,
+                                const std::string& label) {
+    PhysOpPtr baseline = RowStorePlan(preds);
+    const std::vector<Row> expected = RunBatchPath(baseline.get(), 1024);
+    for (size_t dop : {size_t{1}, size_t{8}}) {
+      for (size_t batch : {size_t{1}, size_t{1024}}) {
+        PhysOpPtr plan = ColumnarPlan(preds);
+        if (dop > 1) {
+          plan = std::make_unique<ExchangeOp>(std::move(plan), dop,
+                                              /*morsel_rows=*/256);
+        }
+        const std::vector<Row> got = RunBatchPath(plan.get(), batch);
+        tutil::ExpectSameSequence(
+            got, expected,
+            label + " dop=" + std::to_string(dop) +
+                " batch=" + std::to_string(batch));
+        // The row path over the same columnar plan must agree too.
+        if (dop == 1) {
+          PhysOpPtr row_drive = ColumnarPlan(preds);
+          tutil::ExpectSameSequence(RunRowPath(row_drive.get()), expected,
+                                    label + " row-drive");
+        }
+      }
+    }
+  }
+
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(ColumnarStorageTest, ScanWithoutPredicates) {
+  ExpectStorageEquivalence({}, "no-preds");
+}
+
+TEST_F(ColumnarStorageTest, IntEquality) {
+  ExpectStorageEquivalence({{1, value_ops::CmpOp::kEq, Value::Int(42)}},
+                           "v=42");
+}
+
+TEST_F(ColumnarStorageTest, IntRangeConjunction) {
+  ExpectStorageEquivalence({{1, value_ops::CmpOp::kGe, Value::Int(20)},
+                            {1, value_ops::CmpOp::kLt, Value::Int(60)}},
+                           "20<=v<60");
+}
+
+TEST_F(ColumnarStorageTest, ClusteredKeyRangePrunes) {
+  // k is clustered (k = row index), so zone maps refute whole morsels.
+  ExpectStorageEquivalence({{0, value_ops::CmpOp::kLt, Value::Int(100)}},
+                           "k<100");
+  ExpectStorageEquivalence({{0, value_ops::CmpOp::kGe, Value::Int(1990)}},
+                           "k>=1990");
+  // Empty result: every morsel pruned.
+  ExpectStorageEquivalence({{0, value_ops::CmpOp::kLt, Value::Int(0)}},
+                           "k<0");
+}
+
+TEST_F(ColumnarStorageTest, DoublePredicate) {
+  ExpectStorageEquivalence({{2, value_ops::CmpOp::kLe, Value::Double(0.25)}},
+                           "d<=0.25");
+}
+
+TEST_F(ColumnarStorageTest, IntColumnVsDoubleLiteral) {
+  ExpectStorageEquivalence({{1, value_ops::CmpOp::kGt, Value::Double(49.5)}},
+                           "v>49.5");
+}
+
+TEST_F(ColumnarStorageTest, StringEqualityAndInequality) {
+  ExpectStorageEquivalence({{3, value_ops::CmpOp::kEq, Value::Str("curie")}},
+                           "s='curie'");
+  ExpectStorageEquivalence({{3, value_ops::CmpOp::kNe, Value::Str("ada")}},
+                           "s<>'ada'");
+  ExpectStorageEquivalence({{3, value_ops::CmpOp::kEq, Value::Str("nobody")}},
+                           "s='nobody'");
+}
+
+TEST_F(ColumnarStorageTest, BoolPredicate) {
+  ExpectStorageEquivalence({{4, value_ops::CmpOp::kEq, Value::Bool(true)}},
+                           "b=true");
+}
+
+TEST_F(ColumnarStorageTest, MultiColumnConjunction) {
+  ExpectStorageEquivalence({{1, value_ops::CmpOp::kGe, Value::Int(10)},
+                            {3, value_ops::CmpOp::kEq, Value::Str("euler")},
+                            {2, value_ops::CmpOp::kLt, Value::Double(0.8)}},
+                           "v>=10 and s='euler' and d<0.8");
+}
+
+TEST_F(ColumnarStorageTest, PushedPredicatesUnderResidualFilter) {
+  // Mixed shape lowering produces: pushable conjuncts in the scan, the
+  // non-pushable remainder in a FilterOp above it.
+  const std::vector<ScanPredicate> pushed = {
+      {1, value_ops::CmpOp::kGe, Value::Int(5)}};
+  auto residual = [&](const Schema& s) {
+    // v + k is not `col <op> const`, so it stays a residual.
+    return Gt(Binary(BinaryOp::kAdd, Col(s, "v"), Col(s, "k")),
+              Lit(int64_t{500}));
+  };
+
+  auto row_scan = std::make_unique<TableScanOp>(table_.get());
+  row_scan->set_use_columnar(false);
+  const Schema s = row_scan->output_schema();
+  auto baseline = std::make_unique<FilterOp>(
+      std::move(row_scan),
+      Binary(BinaryOp::kAnd, PredsToExpr(s, pushed), residual(s)));
+  const std::vector<Row> expected = RunBatchPath(baseline.get(), 1024);
+
+  for (size_t batch : {size_t{1}, size_t{1024}}) {
+    auto scan = std::make_unique<TableScanOp>(table_.get());
+    scan->PushPredicates(pushed);
+    auto candidate =
+        std::make_unique<FilterOp>(std::move(scan), residual(s));
+    tutil::ExpectSameSequence(RunBatchPath(candidate.get(), batch), expected,
+                              "residual batch=" + std::to_string(batch));
+  }
+}
+
+TEST(ColumnarStorageEdgeTest, NullHeavyTable) {
+  Rng rng(78);
+  auto table = MakeTable("t", MixedSchema(), MixedRows(&rng, 1500, 0.9));
+  const std::vector<std::vector<ScanPredicate>> pred_sets = {
+      {{1, value_ops::CmpOp::kGe, Value::Int(0)}},
+      {{3, value_ops::CmpOp::kEq, Value::Str("ada")}},
+      {{4, value_ops::CmpOp::kEq, Value::Bool(false)}},
+  };
+  for (const auto& preds : pred_sets) {
+    auto row_scan = std::make_unique<TableScanOp>(table.get());
+    row_scan->set_use_columnar(false);
+    auto baseline = std::make_unique<FilterOp>(
+        std::move(row_scan), PredsToExpr(table->schema(), preds));
+    const std::vector<Row> expected = RunBatchPath(baseline.get(), 1024);
+    auto scan = std::make_unique<TableScanOp>(table.get());
+    scan->PushPredicates(preds);
+    tutil::ExpectSameSequence(RunBatchPath(scan.get(), 1024), expected,
+                              "null-heavy " + preds[0].ToString(
+                                  table->schema()));
+  }
+}
+
+TEST(ColumnarStorageEdgeTest, AllStringTable) {
+  Schema schema({{"a", TypeId::kString, "t"}, {"b", TypeId::kString, "t"}});
+  std::vector<Row> rows;
+  const char* names[] = {"x", "y", "z", "w"};
+  for (int i = 0; i < 500; ++i) {
+    rows.push_back({i % 13 == 0 ? Value::Null() : Value::Str(names[i % 4]),
+                    Value::Str(names[(i / 4) % 4])});
+  }
+  auto table = MakeTable("t", schema, std::move(rows));
+  const std::vector<ScanPredicate> preds = {
+      {0, value_ops::CmpOp::kGe, Value::Str("y")},
+      {1, value_ops::CmpOp::kNe, Value::Str("w")}};
+  auto row_scan = std::make_unique<TableScanOp>(table.get());
+  row_scan->set_use_columnar(false);
+  auto baseline = std::make_unique<FilterOp>(std::move(row_scan),
+                                             PredsToExpr(schema, preds));
+  const std::vector<Row> expected = RunBatchPath(baseline.get(), 1024);
+  ASSERT_FALSE(expected.empty());
+  auto scan = std::make_unique<TableScanOp>(table.get());
+  scan->PushPredicates(preds);
+  tutil::ExpectSameSequence(RunBatchPath(scan.get(), 1024), expected,
+                            "all-string");
+}
+
+TEST(ColumnarStorageEdgeTest, PruningCountersBookMorselSkips) {
+  // Clustered key over 5 storage morsels; k < 100 lives entirely in the
+  // first, so the scan must visit 1 morsel and prune 4.
+  Schema schema({{"k", TypeId::kInt64, "t"}});
+  std::vector<Row> rows;
+  const size_t n = 5 * ColumnarTable::kMorselRows;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i))});
+  }
+  auto table = MakeTable("t", schema, std::move(rows));
+  TableScanOp scan(table.get());
+  scan.PushPredicates({{0, value_ops::CmpOp::kLt, Value::Int(100)}});
+  ExecContext::Counters counters;
+  const std::vector<Row> got = RunBatchPath(&scan, 1024, &counters);
+  EXPECT_EQ(got.size(), 100u);
+  EXPECT_EQ(counters.morsels_scanned, 1u);
+  EXPECT_EQ(counters.morsels_pruned, 4u);
+}
+
+TEST(ColumnarStorageEdgeTest, PruningInsideExchangeMorselDriver) {
+  // Exchange morsels (odd-sized, smaller than storage morsels) intersect
+  // storage morsels; pruning still fires and results stay bit-for-bit.
+  Schema schema({{"k", TypeId::kInt64, "t"}, {"v", TypeId::kInt64, "t"}});
+  std::vector<Row> rows;
+  const size_t n = 3 * ColumnarTable::kMorselRows + 17;
+  for (size_t i = 0; i < n; ++i) {
+    rows.push_back({Value::Int(static_cast<int64_t>(i)),
+                    Value::Int(static_cast<int64_t>(i % 91))});
+  }
+  auto table = MakeTable("t", schema, std::move(rows));
+  const std::vector<ScanPredicate> preds = {
+      {0, value_ops::CmpOp::kGe,
+       Value::Int(static_cast<int64_t>(n) - 50)}};
+
+  auto row_scan = std::make_unique<TableScanOp>(table.get());
+  row_scan->set_use_columnar(false);
+  auto baseline = std::make_unique<FilterOp>(std::move(row_scan),
+                                             PredsToExpr(schema, preds));
+  const std::vector<Row> expected = RunBatchPath(baseline.get(), 1024);
+  ASSERT_EQ(expected.size(), 50u);
+
+  auto scan = std::make_unique<TableScanOp>(table.get());
+  scan->PushPredicates(preds);
+  ExchangeOp ex(std::move(scan), /*parallelism=*/8, /*morsel_rows=*/997);
+  ExecContext ctx;
+  ctx.set_batch_size(1024);
+  Result<QueryResult> r = ExecuteToVector(&ex, &ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  tutil::ExpectSameSequence(r->rows, expected, "exchange-pruning");
+  EXPECT_GT(ctx.counters().morsels_pruned, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// SetMorsel edge cases.
+// ---------------------------------------------------------------------------
+
+std::vector<Row> DrainScan(TableScanOp* scan, ExecContext* ctx) {
+  std::vector<Row> rows;
+  while (true) {
+    Row row;
+    Result<bool> more = scan->Next(ctx, &row);
+    EXPECT_TRUE(more.ok());
+    if (!more.ok() || !*more) break;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+TEST(TableScanMorselTest, RejectsInvertedRange) {
+  Rng rng(5);
+  auto table = MakeTable("t", GroupedSchema(), RandomGroupedRows(&rng, 50, 3));
+  TableScanOp scan(table.get());
+  scan.EnableMorselMode();
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  ASSERT_TRUE(scan.SetMorsel(10, 20).ok());
+  Status st = scan.SetMorsel(20, 10);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("inverted"), std::string::npos);
+  // The previously armed range survives the rejected call.
+  EXPECT_EQ(DrainScan(&scan, &ctx).size(), 10u);
+  ASSERT_TRUE(scan.Close(&ctx).ok());
+}
+
+TEST(TableScanMorselTest, EmptyTableYieldsNothing) {
+  auto table = std::make_unique<Table>("t", GroupedSchema());
+  TableScanOp scan(table.get());
+  scan.EnableMorselMode();
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  ASSERT_TRUE(scan.SetMorsel(0, 64).ok());  // clamped to the empty table
+  EXPECT_TRUE(DrainScan(&scan, &ctx).empty());
+  ASSERT_TRUE(scan.Close(&ctx).ok());
+}
+
+TEST(TableScanMorselTest, MorselPastEndClampsToNothing) {
+  Rng rng(6);
+  auto table = MakeTable("t", GroupedSchema(), RandomGroupedRows(&rng, 50, 3));
+  TableScanOp scan(table.get());
+  scan.EnableMorselMode();
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  ASSERT_TRUE(scan.SetMorsel(1000, 1064).ok());
+  EXPECT_TRUE(DrainScan(&scan, &ctx).empty());
+  // A morsel straddling the end clamps to the tail.
+  ASSERT_TRUE(scan.SetMorsel(45, 1000).ok());
+  EXPECT_EQ(DrainScan(&scan, &ctx).size(), 5u);
+  ASSERT_TRUE(scan.Close(&ctx).ok());
+}
+
+TEST(TableScanMorselTest, ZeroWidthMorselYieldsNothingAndRearms) {
+  Rng rng(7);
+  auto table = MakeTable("t", GroupedSchema(), RandomGroupedRows(&rng, 50, 3));
+  TableScanOp scan(table.get());
+  scan.EnableMorselMode();
+  ExecContext ctx;
+  ASSERT_TRUE(scan.Open(&ctx).ok());
+  ASSERT_TRUE(scan.SetMorsel(5, 5).ok());
+  EXPECT_TRUE(DrainScan(&scan, &ctx).empty());
+  // Re-arming after a zero-width morsel still works.
+  ASSERT_TRUE(scan.SetMorsel(0, 50).ok());
+  EXPECT_EQ(DrainScan(&scan, &ctx).size(), 50u);
+  ASSERT_TRUE(scan.Close(&ctx).ok());
 }
 
 TEST(BatchExprTest, EvalPredicateBatchRejectsNonBool) {

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "src/sql/lexer.h"
 #include "src/sql/parser.h"
 
@@ -168,6 +171,41 @@ TEST(ParserTest, LiteralForms) {
   EXPECT_EQ(items[1].expr->kind, SqlExprKind::kUnary);  // unary minus
   EXPECT_EQ(items[3].expr->literal.type(), TypeId::kNull);
   EXPECT_EQ(items[4].expr->literal.bool_val(), true);
+}
+
+TEST(ParserTest, SetStatementValueForms) {
+  // Integer value.
+  auto num = TryParseSet("set parallelism = 4");
+  ASSERT_TRUE(num.ok());
+  ASSERT_TRUE(num->has_value());
+  EXPECT_EQ((*num)->name, "parallelism");
+  EXPECT_EQ((*num)->value, 4);
+  EXPECT_TRUE((*num)->word.empty());
+
+  // on/off/true/false still parse as 1/0, not as words.
+  for (const auto& [text, expected] :
+       {std::pair<const char*, int64_t>{"on", 1},
+        {"off", 0},
+        {"true", 1},
+        {"false", 0}}) {
+    auto r = TryParseSet(std::string("set profile = ") + text);
+    ASSERT_TRUE(r.ok()) << text;
+    ASSERT_TRUE(r->has_value());
+    EXPECT_EQ((*r)->value, expected) << text;
+    EXPECT_TRUE((*r)->word.empty()) << text;
+  }
+
+  // Any other identifier becomes a word value for the engine to validate.
+  auto word = TryParseSet("SET storage = COLUMNAR");
+  ASSERT_TRUE(word.ok());
+  ASSERT_TRUE(word->has_value());
+  EXPECT_EQ((*word)->name, "storage");
+  EXPECT_EQ((*word)->word, "columnar");  // lowercased by the lexer
+
+  // Not a SET statement at all: empty optional, no error.
+  auto other = TryParseSet("select 1 from t");
+  ASSERT_TRUE(other.ok());
+  EXPECT_FALSE(other->has_value());
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "src/storage/catalog.h"
+#include "src/storage/columnar.h"
 #include "src/storage/schema.h"
 #include "src/storage/table.h"
 
@@ -68,6 +71,211 @@ TEST(TableTest, AppendChecksTypesAndWidensInts) {
   EXPECT_EQ(t.rows()[0][0].type(), TypeId::kDouble);
   EXPECT_TRUE(t.Append({Value::Null()}).ok());
   EXPECT_FALSE(t.Append({Value::Str("x")}).ok());
+}
+
+TEST(TableTest, AppendAllIsAtomic) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.Append({Value::Int(1), Value::Str("a")}).ok());
+
+  // A bad row mid-batch must leave the table exactly as it was: no partial
+  // commit into either the row store or the columnar view.
+  std::vector<Row> batch;
+  batch.push_back({Value::Int(2), Value::Str("b")});
+  batch.push_back({Value::Str("oops"), Value::Str("c")});  // type error
+  batch.push_back({Value::Int(3), Value::Str("d")});
+  EXPECT_FALSE(t.AppendAll(std::move(batch)).ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows().size(), 1u);
+  EXPECT_EQ(t.columnar().num_rows(), 1u);
+
+  // A fully valid batch commits every row.
+  std::vector<Row> good;
+  good.push_back({Value::Int(2), Value::Str("b")});
+  good.push_back({Value::Null(), Value::Null()});
+  EXPECT_TRUE(t.AppendAll(std::move(good)).ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.columnar().num_rows(), 3u);
+}
+
+TEST(TableTest, AppendAllWidensIntsLikeAppend) {
+  Table t("t", Schema({{"v", TypeId::kDouble, "t"}}));
+  std::vector<Row> batch;
+  batch.push_back({Value::Int(3)});
+  batch.push_back({Value::Double(0.5)});
+  ASSERT_TRUE(t.AppendAll(std::move(batch)).ok());
+  EXPECT_EQ(t.rows()[0][0].type(), TypeId::kDouble);
+  EXPECT_DOUBLE_EQ(t.columnar().column(0).doubles()[0], 3.0);
+}
+
+TEST(ColumnarTest, MirrorsRowStoreValueForValue) {
+  Table t("t", TwoColSchema());
+  ASSERT_TRUE(t.Append({Value::Int(7), Value::Str("x")}).ok());
+  ASSERT_TRUE(t.Append({Value::Null(), Value::Str("y")}).ok());
+  ASSERT_TRUE(t.Append({Value::Int(-2), Value::Null()}).ok());
+  const ColumnarTable& ct = t.columnar();
+  ASSERT_EQ(ct.num_rows(), 3u);
+  for (size_t i = 0; i < ct.num_rows(); ++i) {
+    Row row;
+    ct.MaterializeRow(i, &row);
+    EXPECT_TRUE(RowsEqual(row, t.rows()[i])) << "row " << i;
+  }
+}
+
+TEST(ColumnarTest, DictionaryEncodesStrings) {
+  Table t("t", Schema({{"s", TypeId::kString, "t"}}));
+  const char* words[] = {"red", "green", "red", "blue", "green", "red"};
+  for (const char* w : words) {
+    ASSERT_TRUE(t.Append({Value::Str(w)}).ok());
+  }
+  const ColumnVector& cv = t.columnar().column(0);
+  EXPECT_EQ(cv.dict_size(), 3u);  // exact NDV: red, green, blue
+  // Equal strings share a code; distinct strings get distinct codes.
+  EXPECT_EQ(cv.codes()[0], cv.codes()[2]);
+  EXPECT_EQ(cv.codes()[0], cv.codes()[5]);
+  EXPECT_NE(cv.codes()[0], cv.codes()[1]);
+  EXPECT_NE(cv.codes()[1], cv.codes()[3]);
+  // FindCode round-trips present values and rejects absent ones.
+  const int64_t red = cv.FindCode("red");
+  ASSERT_GE(red, 0);
+  EXPECT_EQ(static_cast<uint32_t>(red), cv.codes()[0]);
+  EXPECT_EQ(cv.FindCode("mauve"), -1);
+}
+
+TEST(ColumnarTest, ZoneMapsTrackMinMaxAndNullsPerMorsel) {
+  Table t("t", Schema({{"v", TypeId::kInt64, "t"}}));
+  // Two full morsels plus a partial third, with a known per-morsel layout:
+  // morsel 0 holds [0, kMorselRows), morsel 1 is all NULL, morsel 2 holds
+  // descending negatives.
+  const size_t m = ColumnarTable::kMorselRows;
+  for (size_t i = 0; i < m; ++i) {
+    ASSERT_TRUE(t.Append({Value::Int(static_cast<int64_t>(i))}).ok());
+  }
+  for (size_t i = 0; i < m; ++i) {
+    ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  }
+  for (int64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(t.Append({Value::Int(-i)}).ok());
+  }
+  const ColumnarTable& ct = t.columnar();
+  ASSERT_EQ(ct.num_morsels(), 3u);
+
+  const ZoneMap& z0 = ct.zone(0, 0);
+  EXPECT_EQ(z0.min.int_val(), 0);
+  EXPECT_EQ(z0.max.int_val(), static_cast<int64_t>(m) - 1);
+  EXPECT_EQ(z0.null_count, 0u);
+
+  const ZoneMap& z1 = ct.zone(0, 1);
+  EXPECT_TRUE(z1.min.is_null());  // no non-NULL values in the morsel
+  EXPECT_EQ(z1.null_count, m);
+
+  const ZoneMap& z2 = ct.zone(0, 2);
+  EXPECT_EQ(z2.min.int_val(), -99);
+  EXPECT_EQ(z2.max.int_val(), 0);
+}
+
+TEST(ColumnarTest, CanPruneMorselRefutesOutOfRangePredicates) {
+  Table t("t", Schema({{"v", TypeId::kInt64, "t"}}));
+  const size_t m = ColumnarTable::kMorselRows;
+  // Morsel 0: values in [0, 100]; morsel 1: all NULL.
+  for (size_t i = 0; i < m; ++i) {
+    ASSERT_TRUE(t.Append({Value::Int(static_cast<int64_t>(i % 101))}).ok());
+  }
+  for (size_t i = 0; i < m; ++i) {
+    ASSERT_TRUE(t.Append({Value::Null()}).ok());
+  }
+  const ColumnarTable& ct = t.columnar();
+  using value_ops::CmpOp;
+  auto pred = [](CmpOp op, int64_t lit) {
+    return std::vector<ScanPredicate>{{0, op, Value::Int(lit)}};
+  };
+  // Refuted: literal outside [0, 100].
+  EXPECT_TRUE(ct.CanPruneMorsel(0, pred(CmpOp::kEq, 500)));
+  EXPECT_TRUE(ct.CanPruneMorsel(0, pred(CmpOp::kGt, 100)));
+  EXPECT_TRUE(ct.CanPruneMorsel(0, pred(CmpOp::kLt, 0)));
+  EXPECT_TRUE(ct.CanPruneMorsel(0, pred(CmpOp::kLe, -1)));
+  EXPECT_TRUE(ct.CanPruneMorsel(0, pred(CmpOp::kGe, 101)));
+  // Not refuted: literal inside the range (or kNe with a spread).
+  EXPECT_FALSE(ct.CanPruneMorsel(0, pred(CmpOp::kEq, 50)));
+  EXPECT_FALSE(ct.CanPruneMorsel(0, pred(CmpOp::kGe, 100)));
+  EXPECT_FALSE(ct.CanPruneMorsel(0, pred(CmpOp::kNe, 50)));
+  // An all-NULL morsel never satisfies any comparison (SQL 3VL): prunable
+  // under every predicate.
+  EXPECT_TRUE(ct.CanPruneMorsel(1, pred(CmpOp::kEq, 0)));
+  EXPECT_TRUE(ct.CanPruneMorsel(1, pred(CmpOp::kNe, 0)));
+  // No predicates -> nothing to refute.
+  EXPECT_FALSE(ct.CanPruneMorsel(0, {}));
+}
+
+TEST(ColumnarTest, CanPruneConstantMorselWithNe) {
+  Table t("t", Schema({{"v", TypeId::kInt64, "t"}}));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(t.Append({Value::Int(42)}).ok());
+  }
+  const ColumnarTable& ct = t.columnar();
+  std::vector<ScanPredicate> ne42 = {
+      {0, value_ops::CmpOp::kNe, Value::Int(42)}};
+  EXPECT_TRUE(ct.CanPruneMorsel(0, ne42));
+  std::vector<ScanPredicate> ne41 = {
+      {0, value_ops::CmpOp::kNe, Value::Int(41)}};
+  EXPECT_FALSE(ct.CanPruneMorsel(0, ne41));
+}
+
+TEST(ColumnarTest, FilterRangeAgreesWithRowMatches) {
+  Table t("t", Schema({{"v", TypeId::kInt64, "t"},
+                       {"d", TypeId::kDouble, "t"},
+                       {"s", TypeId::kString, "t"}}));
+  const char* words[] = {"a", "b", "c"};
+  for (int i = 0; i < 300; ++i) {
+    Row row;
+    row.push_back(i % 7 == 0 ? Value::Null() : Value::Int(i % 50));
+    row.push_back(Value::Double(i * 0.5));
+    row.push_back(i % 11 == 0 ? Value::Null() : Value::Str(words[i % 3]));
+    ASSERT_TRUE(t.Append(std::move(row)).ok());
+  }
+  const ColumnarTable& ct = t.columnar();
+  using value_ops::CmpOp;
+  const std::vector<std::vector<ScanPredicate>> pred_sets = {
+      {{0, CmpOp::kGe, Value::Int(10)}},
+      {{0, CmpOp::kGe, Value::Int(10)}, {0, CmpOp::kLt, Value::Int(30)}},
+      {{1, CmpOp::kLe, Value::Double(70.0)}},
+      {{2, CmpOp::kEq, Value::Str("b")}},
+      {{2, CmpOp::kNe, Value::Str("b")}},
+      {{0, CmpOp::kGt, Value::Int(5)}, {2, CmpOp::kEq, Value::Str("a")}},
+      {},  // empty set selects everything
+  };
+  for (size_t p = 0; p < pred_sets.size(); ++p) {
+    const auto& preds = pred_sets[p];
+    const std::vector<CompiledPredicate> compiled =
+        ct.CompilePredicates(preds);
+    std::vector<uint32_t> selection;
+    ct.FilterRange(0, ct.num_rows(), compiled, &selection);
+    std::vector<uint32_t> expected;
+    for (size_t i = 0; i < ct.num_rows(); ++i) {
+      if (ct.RowMatches(i, compiled)) {
+        expected.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    EXPECT_EQ(selection, expected) << "pred set " << p;
+    if (!preds.empty()) {
+      // NULLs never match a pushed comparison.
+      for (uint32_t i : selection) {
+        for (const ScanPredicate& pr : preds) {
+          EXPECT_FALSE(ct.column(pr.column).IsNull(i))
+              << "pred set " << p << " row " << i;
+        }
+      }
+    } else {
+      EXPECT_EQ(selection.size(), ct.num_rows());
+    }
+  }
+}
+
+TEST(ColumnarTest, PredicateToStringNamesColumnAndQuotesStrings) {
+  Schema s({{"v", TypeId::kInt64, "t"}, {"name", TypeId::kString, "t"}});
+  ScanPredicate p1{0, value_ops::CmpOp::kGe, Value::Int(10)};
+  EXPECT_EQ(p1.ToString(s), "v >= 10");
+  ScanPredicate p2{1, value_ops::CmpOp::kEq, Value::Str("bob")};
+  EXPECT_EQ(p2.ToString(s), "name = 'bob'");
 }
 
 TEST(CatalogTest, AddAndLookupTables) {

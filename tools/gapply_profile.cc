@@ -38,6 +38,22 @@ int ProfileOne(Database* db, const Options& opts, const std::string& sql) {
   // EXPLAIN ANALYZE in the requested format.
   std::string query = sql;
   bool json = opts.json;
+  // Session knobs (SET storage / parallelism / profile / ...) go straight
+  // to the engine — they produce no rows and nothing to profile.
+  Result<std::optional<sql::SetStatement>> set_stmt = sql::TryParseSet(sql);
+  if (!set_stmt.ok()) {
+    std::fprintf(stderr, "error: %s\n", set_stmt.status().ToString().c_str());
+    return 1;
+  }
+  if (set_stmt->has_value()) {
+    std::printf("-- %s\n", sql.c_str());
+    Result<QueryResult> r = db->Query(sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "error: %s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    return 0;
+  }
   Result<std::optional<sql::ExplainStatement>> explain_stmt =
       sql::TryParseExplain(sql);
   if (!explain_stmt.ok()) {
